@@ -1,0 +1,22 @@
+"""Bench: regenerate the Section 6.1 division-criticality study."""
+
+from conftest import BENCH_SCALE
+
+from repro.experiments import run_experiment
+
+
+def _pct(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def test_discussion_division(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("discussion_division", scale=BENCH_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert _pct(result.rows[1][2]) > 15.0, (
+        "prioritising the division slice must recover a large share of the "
+        "divider-latency stalls"
+    )

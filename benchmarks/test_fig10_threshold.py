@@ -1,0 +1,36 @@
+"""Bench: regenerate Figure 10 (miss-contribution threshold sweep)."""
+
+from conftest import BENCH_SCALE, SWEEP_WORKLOADS
+
+from repro.experiments import run_experiment
+
+# perlbench is the fine-grained case: 60+ delinquent loads at ~1.6% miss
+# contribution each, so T=5% tags nothing while T=1% captures them all --
+# the differentiation Figure 10 sweeps for.
+WORKLOADS = SWEEP_WORKLOADS + ["perlbench"]
+
+
+def _pct(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def test_fig10_threshold(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig10", scale=BENCH_SCALE, workloads=WORKLOADS),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    mean = result.row_for("geomean")
+    t5 = result.headers.index("T=5.0%")
+    t1 = result.headers.index("T=1.0%")
+    t02 = result.headers.index("T=0.2%")
+    # Section 5.5's finding: the middle threshold (1%) is best overall.
+    assert _pct(mean[t1]) >= _pct(mean[t5]) - 0.3
+    assert _pct(mean[t1]) >= _pct(mean[t02]) - 0.3
+    # perlbench's many fine-grained delinquent loads need T <= 1%.
+    perl = result.row_for("perlbench")
+    assert _pct(perl[t1]) > _pct(perl[t5])
+    # moses over-tags at the loosest threshold (the over-selection cost).
+    moses = result.row_for("moses")
+    assert _pct(moses[t1]) >= _pct(moses[t02])

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 1 (simulated system)."""
+
+from repro.experiments import run_experiment
+
+
+def test_table1(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1"), rounds=1, iterations=1
+    )
+    record_result(result)
+    assert result.row_for("ROB")[1] == "224 entries"
+    assert result.row_for("Reservation Station")[1] == "96 entries (unified)"

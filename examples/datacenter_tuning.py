@@ -1,0 +1,48 @@
+"""Application-specific threshold tuning (the Section 5.5 workflow).
+
+CRISP's software implementation makes its criticality heuristic a knob:
+datacenter operators can profile each service with several thresholds and
+deploy the best (the paper's envisioned "iterative mechanism that profiles
+applications with different miss ratio thresholds"). This example sweeps
+the miss-contribution threshold T for two TailBench services and picks the
+per-service winner, exactly the loop an FDO deployment would automate.
+
+Run:  python examples/datacenter_tuning.py
+"""
+
+from repro.core import CrispConfig, DelinquencyConfig, run_crisp_flow
+from repro.sim import simulate
+from repro.workloads import get_workload
+
+SERVICES = ("memcached", "moses")
+THRESHOLDS = (0.05, 0.02, 0.01, 0.002)
+
+
+def main() -> None:
+    for service in SERVICES:
+        ref = get_workload(service, "ref")
+        baseline = simulate(ref, "ooo").ipc
+        print(f"== {service} (baseline IPC {baseline:.3f}) ==")
+        best = (None, baseline)
+        for threshold in THRESHOLDS:
+            config = CrispConfig(
+                delinquency=DelinquencyConfig().with_threshold(threshold)
+            )
+            flow = run_crisp_flow(service, config)
+            ipc = simulate(ref, "crisp", critical_pcs=flow.critical_pcs).ipc
+            marker = ""
+            if ipc > best[1]:
+                best = (threshold, ipc)
+                marker = "  <-- best so far"
+            print(
+                f"  T={threshold:5.1%}: {len(flow.critical_pcs):4d} tagged,"
+                f" IPC {ipc:.3f} ({100 * (ipc / baseline - 1):+.1f}%){marker}"
+            )
+        if best[0] is not None:
+            print(f"  deploy with T={best[0]:.1%}\n")
+        else:
+            print("  no threshold beat the baseline; deploy unannotated\n")
+
+
+if __name__ == "__main__":
+    main()

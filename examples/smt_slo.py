@@ -1,0 +1,43 @@
+"""Criticality across SMT threads: SLO enforcement and the DoS bound.
+
+The Section 6.2 discussion in one script: run a latency-sensitive
+pointer-chasing service against a streaming batch job on the two-thread
+SMT model, first with fair round-robin scheduling, then with the latency
+thread's instructions prioritised, then under the tag-everything
+denial-of-service attack with and without the fairness guard.
+
+Run:  python examples/smt_slo.py
+"""
+
+from repro.uarch import CoreConfig, SmtPipeline
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    latency = get_workload("pointer_chase", "ref")
+    batch = get_workload("img_dnn", "ref")
+    traces = [latency.trace(), batch.trace()]
+    attack = [frozenset(), frozenset(range(len(batch.program)))]
+
+    configs = (
+        ("fair round-robin", {}),
+        ("latency thread prioritised (SLO)", {"priority": "thread0"}),
+        ("batch thread tags everything (DoS)", {"critical_pcs": attack}),
+        ("DoS + 2 reserved fair slots", {"critical_pcs": attack, "fair_slots": 2}),
+    )
+    print(f"{'configuration':38s} {'latency cycles':>14s} {'batch cycles':>13s} {'total IPC':>9s}")
+    for label, kwargs in configs:
+        stats = SmtPipeline(traces, CoreConfig.skylake(), **kwargs).run()
+        print(
+            f"{label:38s} {stats.threads[0].cycles:14d} "
+            f"{stats.threads[1].cycles:13d} {stats.total_ipc:9.3f}"
+        )
+    print(
+        "\nPrioritisation lets the latency thread meet its SLO at high "
+        "utilisation; an adversarial all-critical co-runner slows it until "
+        "the scheduler reserves slots for non-critical work (Section 6.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package and no network access, so the
+modern PEP-517 editable install path (which builds a wheel) is unavailable.
+``pip install -e . --no-use-pep517 --no-build-isolation`` goes through this
+shim instead; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""CRISP: Critical Slice Prefetching -- full-system reproduction.
+
+Reproduces Litz, Ayers & Ranganathan, "CRISP: Critical Slice Prefetching"
+(ASPLOS 2022). See DESIGN.md for the system inventory and EXPERIMENTS.md
+for the per-figure reproduction record.
+
+Quick start::
+
+    from repro import compare_workload
+
+    cmp = compare_workload("mcf")
+    print(cmp.improvement_pct("crisp"))   # CRISP IPC gain over OOO, percent
+
+Package layout:
+
+* :mod:`repro.isa`       -- mini-ISA, assembler, functional emulator
+* :mod:`repro.workloads` -- the evaluated suite as synthetic analogues
+* :mod:`repro.frontend`  -- TAGE, BTB, RAS, FTQ, FDIP
+* :mod:`repro.memory`    -- caches, MSHRs, DRAM, prefetchers
+* :mod:`repro.uarch`     -- the cycle-level out-of-order core
+* :mod:`repro.core`      -- CRISP itself (+ the IBDA hardware baseline)
+* :mod:`repro.sim`       -- top-level simulate/compare API
+* :mod:`repro.experiments` -- one module per paper table/figure
+"""
+
+from .core import CrispConfig, CrispResult, DelinquencyConfig, run_crisp_flow
+from .sim import SimResult, WorkloadComparison, compare_workload, geomean, simulate
+from .uarch import CoreConfig, SimStats
+from .workloads import Workload, get_workload, suite_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreConfig",
+    "CrispConfig",
+    "CrispResult",
+    "DelinquencyConfig",
+    "SimResult",
+    "SimStats",
+    "Workload",
+    "WorkloadComparison",
+    "compare_workload",
+    "geomean",
+    "get_workload",
+    "run_crisp_flow",
+    "simulate",
+    "suite_names",
+    "__version__",
+]

@@ -1,0 +1,112 @@
+"""Top-level CLI: ``python -m repro <command>``.
+
+Commands:
+
+* ``workloads``  -- list the evaluated suite with per-app characters
+* ``simulate``   -- run one workload in one mode and print the stats
+* ``compare``    -- full train->annotate->evaluate comparison for one app
+* ``diagnose``   -- ready->issue delay report under both schedulers
+* ``autotune``   -- per-application threshold tuning (Section 5.5)
+
+Experiments have their own CLI: ``python -m repro.experiments <id>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+
+
+def cmd_workloads(args) -> int:
+    from .workloads import REGISTRY, suite_names
+
+    for name in suite_names(include_micro=True):
+        print(f"{name:14s} {REGISTRY.describe(name)}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .sim import simulate
+    from .workloads import get_workload
+
+    workload = get_workload(args.workload, variant=args.variant, scale=args.scale)
+    result = simulate(workload, args.mode)
+    print(result.stats.summary())
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from .sim import compare_workload
+
+    modes = ("ooo", "crisp") + (("ibda-1k", "ibda-inf") if args.ibda else ())
+    cmp = compare_workload(args.workload, scale=args.scale, modes=modes)
+    flow = cmp.crisp_result
+    print(
+        f"{args.workload}: {len(flow.classification.delinquent_loads)} delinquent "
+        f"loads, {len(flow.classification.hard_branches)} hard branches, "
+        f"{len(flow.critical_pcs)} tagged "
+        f"({flow.annotation.critical_ratio:.1%} dynamic)"
+    )
+    for mode in modes:
+        print(f"  {mode:10s} IPC {cmp.ipc(mode):.3f}  ({cmp.improvement_pct(mode):+.1f}%)")
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    from .sim.diagnose import diagnose_workload
+
+    print(diagnose_workload(args.workload, scale=args.scale))
+    return 0
+
+
+def cmd_autotune(args) -> int:
+    from .core import autotune_threshold
+
+    result = autotune_threshold(args.workload, scale=args.scale)
+    print(result.summary())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=f"CRISP reproduction v{__version__}",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the evaluated workload suite")
+
+    p = sub.add_parser("simulate", help="run one workload in one mode")
+    p.add_argument("workload")
+    p.add_argument("--mode", default="ooo", help="ooo | crisp | ibda-1k | ...")
+    p.add_argument("--variant", default="ref")
+    p.add_argument("--scale", type=float, default=1.0)
+
+    p = sub.add_parser("compare", help="train->annotate->evaluate comparison")
+    p.add_argument("workload")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--ibda", action="store_true", help="also run IBDA modes")
+
+    p = sub.add_parser("diagnose", help="ready->issue delay report")
+    p.add_argument("workload")
+    p.add_argument("--scale", type=float, default=1.0)
+
+    p = sub.add_parser("autotune", help="threshold tuning (Section 5.5)")
+    p.add_argument("workload")
+    p.add_argument("--scale", type=float, default=1.0)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "workloads": cmd_workloads,
+        "simulate": cmd_simulate,
+        "compare": cmd_compare,
+        "diagnose": cmd_diagnose,
+        "autotune": cmd_autotune,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

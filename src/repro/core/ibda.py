@@ -1,0 +1,152 @@
+"""Hardware IBDA baseline (Load Slice Architecture, Carlson et al. [20]).
+
+Iterative Backwards Dependency Analysis as the paper configures it for the
+Figure 7 comparison: a 32-entry delinquent load table (DLT) capturing the
+most frequently LLC-missing load PCs, and an instruction slice table (IST)
+-- 1024 entries 4-way, 8K/8-way, 64K/16-way, or unbounded -- holding the
+PCs of slice instructions. Training is iterative: each time an instruction
+whose PC is in the IST (or whose PC is a DLT load) passes dispatch, the PCs
+of its *register* producers are inserted into the IST, extending the slice
+backwards by one level per execution.
+
+The three structural deficits the paper attributes to IBDA are inherent
+here, not simulated ad hoc:
+
+* register-only visibility -- ``on_dispatch`` receives register producer
+  PCs only, so slices crossing the stack are never completed;
+* finite IST capacity with set-associative conflict eviction;
+* no criticality filtering -- everything reachable is tagged, and every
+  frequently-missing load is a DLT candidate regardless of its MLP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class IbdaStats:
+    dispatch_lookups: int = 0
+    critical_marks: int = 0
+    ist_insertions: int = 0
+    ist_evictions: int = 0
+    dlt_insertions: int = 0
+
+
+class InstructionSliceTable:
+    """Set-associative PC table with LRU replacement (or unbounded)."""
+
+    def __init__(self, entries: int | None = 1024, assoc: int = 4):
+        self.unbounded = entries is None
+        if self.unbounded:
+            self._all: set[int] = set()
+        else:
+            if entries % assoc:
+                raise ValueError("IST entries must divide by associativity")
+            self.num_sets = entries // assoc
+            self.assoc = assoc
+            self._sets: list[dict[int, int]] = [dict() for _ in range(self.num_sets)]
+            self._tick = 0
+        self.evictions = 0
+
+    def __contains__(self, pc: int) -> bool:
+        if self.unbounded:
+            return pc in self._all
+        return pc in self._sets[pc % self.num_sets]
+
+    def insert(self, pc: int) -> None:
+        if self.unbounded:
+            self._all.add(pc)
+            return
+        ist_set = self._sets[pc % self.num_sets]
+        self._tick += 1
+        if pc not in ist_set and len(ist_set) >= self.assoc:
+            lru = min(ist_set, key=ist_set.__getitem__)
+            del ist_set[lru]
+            self.evictions += 1
+        ist_set[pc] = self._tick
+
+    def occupancy(self) -> int:
+        if self.unbounded:
+            return len(self._all)
+        return sum(len(s) for s in self._sets)
+
+
+class DelinquentLoadTable:
+    """Frequency-tracked table of LLC-missing load PCs (space-saving style)."""
+
+    def __init__(self, entries: int = 32):
+        self.entries = entries
+        self._counts: dict[int, int] = {}
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._counts
+
+    def record_miss(self, pc: int) -> bool:
+        """Record an LLC miss; returns True if the PC is now resident."""
+        if pc in self._counts:
+            self._counts[pc] += 1
+            return True
+        if len(self._counts) < self.entries:
+            self._counts[pc] = 1
+            return True
+        # Space-saving: decay the weakest entry; replace it when exhausted.
+        weakest = min(self._counts, key=self._counts.__getitem__)
+        if self._counts[weakest] <= 1:
+            del self._counts[weakest]
+            self._counts[pc] = 1
+            return True
+        self._counts[weakest] -= 1
+        return False
+
+
+class IbdaEngine:
+    """The dispatch-time training/marking engine plugged into the pipeline."""
+
+    def __init__(
+        self,
+        ist_entries: int | None = 1024,
+        ist_assoc: int = 4,
+        dlt_entries: int = 32,
+    ):
+        self.ist = InstructionSliceTable(ist_entries, ist_assoc)
+        self.dlt = DelinquentLoadTable(dlt_entries)
+        self.stats = IbdaStats()
+
+    def on_dispatch(self, pc: int, is_load: bool, producer_pcs: tuple[int, ...]) -> bool:
+        """Called by the pipeline at dispatch; returns the criticality tag."""
+        self.stats.dispatch_lookups += 1
+        critical = pc in self.ist or (is_load and pc in self.dlt)
+        if critical:
+            self.stats.critical_marks += 1
+            before = self.ist.evictions
+            self.ist.insert(pc)
+            for producer in producer_pcs:
+                self.ist.insert(producer)
+            self.stats.ist_insertions += 1 + len(producer_pcs)
+            self.stats.ist_evictions += self.ist.evictions - before
+        return critical
+
+    def on_llc_miss(self, pc: int) -> None:
+        """Called by the pipeline when a load misses the LLC."""
+        if self.dlt.record_miss(pc):
+            self.stats.dlt_insertions += 1
+
+
+#: IST size points evaluated in Section 5.2.
+IBDA_CONFIGS = {
+    "1k": dict(ist_entries=1024, ist_assoc=4),
+    "8k": dict(ist_entries=8192, ist_assoc=8),
+    "64k": dict(ist_entries=65536, ist_assoc=16),
+    "inf": dict(ist_entries=None),
+}
+
+
+def make_ibda(size: str = "1k") -> IbdaEngine:
+    """Construct an IBDA engine for one of the paper's IST sizes."""
+    try:
+        return IbdaEngine(**IBDA_CONFIGS[size])
+    except KeyError:
+        raise ValueError(
+            f"unknown IBDA size {size!r}; known: {sorted(IBDA_CONFIGS)}"
+        ) from None

@@ -1,0 +1,83 @@
+"""Human-readable FDO reports: annotated listings and slice breakdowns.
+
+The deployment-facing view of a :class:`~repro.core.fdo.CrispResult`: which
+instructions were tagged and why, rendered as an annotated disassembly (the
+binary a post-link rewriter like BOLT would emit, with ``[C]`` markers in
+place of the prefix byte) plus per-root slice summaries. Used by operators
+to audit what CRISP will prioritise before deploying an annotation.
+"""
+
+from __future__ import annotations
+
+from ..isa.program import Program
+from .fdo import CrispResult
+
+
+def annotated_listing(program: Program, result: CrispResult, *, context: int = 2) -> str:
+    """Disassembly with criticality markers around tagged regions.
+
+    Only windows of ``context`` instructions around tagged PCs are shown;
+    untagged stretches are elided (real listings of the large interpreter
+    workloads would otherwise dominate the report).
+    """
+    critical = result.critical_pcs
+    roots = set(result.classification.delinquent_loads) | set(
+        result.classification.hard_branches
+    )
+    show: set[int] = set()
+    for pc in critical:
+        show.update(range(max(0, pc - context), min(len(program), pc + context + 1)))
+    lines = []
+    previous_shown = True
+    for inst in program:
+        if inst.idx not in show:
+            if previous_shown:
+                lines.append("  ...")
+            previous_shown = False
+            continue
+        previous_shown = True
+        marker = "[C]" if inst.idx in critical else "   "
+        root = ""
+        if inst.idx in roots:
+            root = "  <-- delinquent load" if inst.is_load else "  <-- hard branch"
+        lines.append(f"{marker} {inst!r}{root}")
+    return "\n".join(lines)
+
+
+def slice_report(result: CrispResult) -> str:
+    """Per-root summary: slice sizes, filtering, importance."""
+    lines = [
+        f"== CRISP annotation report: {result.workload_name} ==",
+        f"delinquent loads : {len(result.classification.delinquent_loads)}",
+        f"hard branches    : {len(result.classification.hard_branches)}",
+        f"tagged PCs       : {len(result.critical_pcs)}"
+        f" ({result.annotation.critical_ratio:.1%} of dynamic instructions)",
+        f"code growth      : {result.annotation.static_overhead:+.2%} static /"
+        f" {result.annotation.dynamic_overhead:+.2%} dynamic",
+    ]
+    if result.annotation.dropped_roots:
+        lines.append(
+            f"guardrail dropped: roots {result.annotation.dropped_roots}"
+            " (dynamic critical ratio exceeded the 40% bound)"
+        )
+    for s in result.slices:
+        kept = result.filtered_pcs.get(s.root_pc, set())
+        importance = (
+            result.profile.miss_contribution(s.root_pc)
+            if s.kind == "load"
+            else (result.profile.branches[s.root_pc].mispredict_rate
+                  if s.root_pc in result.profile.branches else 0.0)
+        )
+        lines.append(
+            f"  {s.kind:6s} root pc {s.root_pc:5d}:"
+            f" raw slice {s.static_size:4d} PCs,"
+            f" kept {len(kept):4d} after critical-path filter,"
+            f" avg dynamic cone {s.avg_dynamic_size:7.0f},"
+            f" importance {importance:.3f}"
+        )
+    rejected = result.classification.rejected
+    if rejected:
+        lines.append(f"  rejected load PCs: {len(rejected)} (examples below)")
+        for pc, reason in list(rejected.items())[:5]:
+            lines.append(f"    pc {pc}: {reason}")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Instruction-trace capture and indexing (DynamoRIO memtrace stand-in).
+
+The functional emulator already records, per dynamic instruction, the
+sequence numbers of its register producers and (for loads) the producing
+store -- the same information the paper obtains from DynamoRIO's Memtrace
+(or Intel PT with PTWrite for memory dependencies, Section 3.3 footnote 2).
+:class:`IndexedTrace` layers the queries the slicer needs on top: dynamic
+instances by static PC, and bounded instance sampling.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..isa.emulator import ExecutionTrace
+from ..isa.instruction import DynInst
+from ..workloads.base import Workload
+
+
+class IndexedTrace:
+    """An execution trace with a PC -> dynamic-instances index."""
+
+    def __init__(self, trace: ExecutionTrace):
+        self.trace = trace
+        self._by_pc: dict[int, list[int]] = {}
+        for d in trace.insts:
+            self._by_pc.setdefault(d.pc, []).append(d.seq)
+
+    def __len__(self) -> int:
+        return len(self.trace)
+
+    def __getitem__(self, seq: int) -> DynInst:
+        return self.trace[seq]
+
+    @property
+    def program(self):
+        return self.trace.program
+
+    def instances(self, pc: int) -> list[int]:
+        """Sequence numbers of all dynamic instances of ``pc`` (in order)."""
+        return self._by_pc.get(pc, [])
+
+    def sample_instances(self, pc: int, count: int) -> list[int]:
+        """Up to ``count`` instances of ``pc``, sampled across the run.
+
+        Sampling is uniform-random with a per-PC deterministic seed rather
+        than strided: a fixed stride aliases with periodic call-site
+        rotation (e.g. a root called from N blocks where the stride shares
+        a factor with N samples only N/gcd of them), which would leave
+        whole call paths out of the merged slice.
+        """
+        all_instances = self.instances(pc)
+        if len(all_instances) <= count:
+            return list(all_instances)
+        rng = random.Random(0x5EED ^ pc)
+        return sorted(rng.sample(all_instances, count))
+
+    def exec_count(self, pc: int) -> int:
+        return len(self._by_pc.get(pc, ()))
+
+
+def capture_trace(workload: Workload, max_insts: int = 5_000_000) -> IndexedTrace:
+    """Functionally execute ``workload`` and return its indexed trace."""
+    return IndexedTrace(workload.trace(max_insts=max_insts))

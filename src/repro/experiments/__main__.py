@@ -1,0 +1,49 @@
+"""CLI: ``python -m repro.experiments <id> [--scale S] [--workloads a,b]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (paper table/figure), or 'all'",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
+    parser.add_argument(
+        "--workloads",
+        type=str,
+        default="",
+        help="comma-separated workload subset (default: full suite)",
+    )
+    args = parser.parse_args(argv)
+
+    names = [args.experiment] if args.experiment != "all" else sorted(EXPERIMENTS)
+    for name in names:
+        kwargs = {}
+        if name not in ("table1",):
+            kwargs["scale"] = args.scale
+        takes_no_workloads = (
+            "table1", "fig1", "sec31", "discussion_smt", "discussion_division",
+        )
+        if args.workloads and name not in takes_no_workloads:
+            kwargs["workloads"] = args.workloads.split(",")
+        start = time.time()
+        result = run_experiment(name, **kwargs)
+        print(result.to_text())
+        print(f"[{name} took {time.time() - start:.0f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

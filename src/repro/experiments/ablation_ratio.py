@@ -1,0 +1,77 @@
+"""Ablation: the critical-instruction-ratio sweet spot (Section 3.2).
+
+The paper: "we empirically determined that the prioritization of critical
+instructions performs best if the ratio of critical instructions among all
+instructions is 5%-40% ... there must be a sufficient mix of non-critical
+instructions for the scheduler to deprioritize". This ablation starts from
+the real CRISP annotation and *dilutes* it -- tagging progressively more
+(hot but non-critical) instructions -- sweeping the dynamic critical ratio
+towards 1.0. The gain must decay towards zero as the tag loses selectivity,
+which is also the paper's §6.2 denial-of-service observation (an attacker
+tagging everything gains nothing).
+"""
+
+from __future__ import annotations
+
+from ..core.fdo import run_crisp_flow
+from ..sim.simulator import simulate
+from ..workloads import get_workload
+from .common import ExperimentResult, format_pct
+
+DEFAULT_TARGETS = (None, 0.25, 0.50, 0.75, 1.0)  # None = the real annotation
+
+
+def _dilute(critical: frozenset[int], exec_counts: dict[int, int], target: float) -> frozenset[int]:
+    """Add hottest non-critical PCs until the dynamic ratio reaches target."""
+    total = sum(exec_counts.values())
+    tagged = set(critical)
+    ratio = sum(exec_counts.get(pc, 0) for pc in tagged) / total
+    for pc, count in sorted(exec_counts.items(), key=lambda kv: -kv[1]):
+        if ratio >= target:
+            break
+        if pc in tagged:
+            continue
+        tagged.add(pc)
+        ratio += count / total
+    return frozenset(tagged)
+
+
+def run(
+    scale: float = 1.0,
+    workloads: list[str] | None = None,
+    targets: tuple = DEFAULT_TARGETS,
+) -> ExperimentResult:
+    workloads = workloads or ["mcf", "moses"]
+    result = ExperimentResult(
+        experiment="ablation_ratio",
+        title="Ablation: CRISP gain vs dynamic critical-instruction ratio",
+        headers=["workload"]
+        + [("CRISP" if t is None else f"ratio>={t:.0%}") for t in targets],
+    )
+    for name in workloads:
+        flow = run_crisp_flow(name, scale=scale)
+        ref = get_workload(name, "ref", scale)
+        base = simulate(ref, "ooo").ipc
+        exec_counts = dict(ref.trace().exec_counts)
+        row = [name]
+        for target in targets:
+            if target is None:
+                tagged = flow.critical_pcs
+            else:
+                tagged = _dilute(flow.critical_pcs, exec_counts, target)
+            ipc = simulate(ref, "crisp", critical_pcs=tagged).ipc
+            row.append(format_pct(ipc / base))
+        result.add_row(*row)
+    result.notes.append(
+        "diluting the annotation towards ratio 1.0 removes the scheduler's "
+        "ability to deprioritise anything; gains must decay (Sections 3.2, 6.2)."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

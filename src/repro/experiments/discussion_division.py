@@ -1,0 +1,68 @@
+"""Section 6.1 study: criticality for long-latency non-load instructions.
+
+The paper: "other high-latency instructions such as division can be
+accelerated with CRISP ... we envision adding new events to the PMU for
+determining the PC of arbitrary instructions that induce significant stall
+cycles." The simulated PMU already attributes head-of-ROB stalls per PC, so
+the envisioned flow runs end to end here: profile the division-chain
+microbenchmark, pick the stall-dominating DIV as a slicing root
+(:func:`repro.core.delinquency.classify_stalling_instructions`), extract
+and filter its slice with the unchanged machinery, and evaluate.
+"""
+
+from __future__ import annotations
+
+from ..core.critical_path import CriticalPathConfig, filter_slice
+from ..core.delinquency import classify_stalling_instructions
+from ..core.profiler import profile_workload
+from ..core.rewriter import Rewriter
+from ..core.slicer import extract_slice
+from ..core.tracer import IndexedTrace
+from ..sim.simulator import simulate
+from ..workloads.divchain import build_div_chain
+from .common import ExperimentResult, format_pct
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="discussion_division",
+        title="Section 6.1: prioritising a long-latency division chain",
+        headers=["configuration", "IPC", "vs baseline"],
+    )
+    train = build_div_chain("train", scale)
+    indexed = IndexedTrace(train.trace())
+    profile, _ = profile_workload(train, trace=indexed)
+    roots = classify_stalling_instructions(profile, train.program)
+    slices = {
+        pc: filter_slice(
+            indexed, extract_slice(indexed, pc, kind="load"), profile,
+            CriticalPathConfig(),
+        )
+        for pc in roots
+    }
+    annotation = Rewriter(train.program, dict(indexed.trace.exec_counts)).annotate(
+        slices, {pc: 1.0 for pc in roots}
+    )
+
+    ref = build_div_chain("ref", scale)
+    base = simulate(ref, "ooo")
+    crisp = simulate(ref, "crisp", critical_pcs=annotation.critical_pcs)
+    result.add_row("baseline OOO", base.ipc, format_pct(1.0))
+    result.add_row(
+        f"division slice prioritised ({len(annotation.critical_pcs)} tagged)",
+        crisp.ipc,
+        format_pct(crisp.ipc / base.ipc),
+    )
+    result.notes.append(
+        f"stall-dominating roots found by the PMU: {roots} "
+        "(the DIV and its feeders); no load ever misses in this kernel."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,56 @@
+"""Figure 7: IPC improvement of CRISP and IBDA over the OOO baseline.
+
+The headline evaluation: per workload, IPC of CRISP and of hardware IBDA
+(four IST sizes) relative to the Table 1 baseline, plus the geometric-mean
+row. The paper reports CRISP at +8.4% on average (max +38%) with IBDA far
+behind and regressing on several applications (moses: slices exceed the
+IST; namd/xhpcg: dependencies through memory; bwaves: wrong delinquent
+loads; fotonik/perlbench/moses: no critical-path filtering).
+"""
+
+from __future__ import annotations
+
+from ..sim.comparison import compare_workload, geomean
+from .common import ExperimentResult, default_workloads, format_pct
+
+#: Modes in Figure 7's legend order.
+DEFAULT_MODES = ("crisp", "ibda-1k", "ibda-8k", "ibda-64k", "ibda-inf")
+
+
+def run(
+    scale: float = 1.0,
+    workloads: list[str] | None = None,
+    modes: tuple[str, ...] = DEFAULT_MODES,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig7",
+        title="Figure 7: IPC improvement over the OOO baseline",
+        headers=["workload", "base IPC"] + [f"{m} gain" for m in modes],
+    )
+    speedups: dict[str, list[float]] = {m: [] for m in modes}
+    for name in default_workloads(workloads):
+        cmp = compare_workload(name, scale=scale, modes=("ooo",) + modes)
+        row = [name, cmp.ipc("ooo")]
+        for mode in modes:
+            ratio = cmp.speedup(mode)
+            speedups[mode].append(ratio)
+            row.append(format_pct(ratio))
+        result.add_row(*row)
+    mean_row = ["geomean", ""]
+    for mode in modes:
+        mean_row.append(format_pct(geomean(speedups[mode])))
+    result.add_row(*mean_row)
+    result.notes.append(
+        "paper: CRISP +8.4% mean / +38% max; IBDA ~+1% mean with regressions "
+        "on moses, fotonik, perlbench. Reproduced claim: ordering and sign "
+        "pattern, not absolute magnitudes."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

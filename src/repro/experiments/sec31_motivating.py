@@ -1,0 +1,45 @@
+"""Section 3.1 motivating measurement: manual prefetch on the microbenchmark.
+
+The paper compiles Figure 2's kernel and measures IPC 1.89 on a Xeon Gold
+5117; manually enabling the commented-out ``__builtin_prefetch`` of the
+next node raises IPC to 2.71 (+43%). The same experiment here builds the
+microbenchmark with and without the early next-pointer load + PREFETCH and
+runs both on the *baseline* OOO core (no CRISP involved): the manual
+prefetch hides the miss under the vector work, bounding what automatic
+criticality scheduling can recover.
+"""
+
+from __future__ import annotations
+
+from ..sim.simulator import simulate
+from ..workloads.microbench import build_pointer_chase
+from .common import ExperimentResult, format_pct
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="sec31",
+        title="Section 3.1: manual software prefetch on the Figure 2 kernel",
+        headers=["kernel", "IPC", "vs plain"],
+    )
+    plain = simulate(build_pointer_chase("ref", scale), "ooo")
+    prefetched = simulate(
+        build_pointer_chase("ref", scale, manual_prefetch=True), "ooo"
+    )
+    result.add_row("plain (Figure 2)", plain.ipc, format_pct(1.0))
+    result.add_row(
+        "manual __builtin_prefetch", prefetched.ipc, format_pct(prefetched.ipc / plain.ipc)
+    )
+    result.notes.append(
+        "paper measured IPC 1.89 -> 2.71 (+43%) on real hardware; the "
+        "reproduced claim is the direction and rough magnitude of the jump."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,33 @@
+"""Front-end substrate: branch prediction, BTB, RAS, FTQ, FDIP."""
+
+from .btb import Btb, BtbStats
+from .fdip import Fdip, FdipStats
+from .ftq import FetchTargetQueue
+from .ras import RasStats, ReturnAddressStack
+from .simple_predictors import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    GsharePredictor,
+    PerfectPredictor,
+    PredictorStats,
+    make_predictor,
+)
+from .tage import TagePredictor, TageStats
+
+__all__ = [
+    "AlwaysTakenPredictor",
+    "BimodalPredictor",
+    "Btb",
+    "BtbStats",
+    "Fdip",
+    "FdipStats",
+    "FetchTargetQueue",
+    "GsharePredictor",
+    "PerfectPredictor",
+    "PredictorStats",
+    "RasStats",
+    "ReturnAddressStack",
+    "TagePredictor",
+    "TageStats",
+    "make_predictor",
+]

@@ -1,0 +1,56 @@
+"""Branch Target Buffer (Table 1: 8K entries).
+
+Maps a branch PC to its most recent target. A taken branch whose target is
+absent (or stale) in the BTB costs a front-end bubble: the target is only
+known after decode, so fetch redirects late. Returns are predicted by the
+RAS instead (:mod:`repro.frontend.ras`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BtbStats:
+    lookups: int = 0
+    hits: int = 0
+    mispredicts: int = 0  # hit, but stale target
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class Btb:
+    """Set-associative BTB with LRU replacement."""
+
+    def __init__(self, entries: int = 8192, assoc: int = 4):
+        if entries % assoc:
+            raise ValueError("BTB entries must be divisible by associativity")
+        self.num_sets = entries // assoc
+        self.assoc = assoc
+        self._sets: list[dict[int, tuple[int, int]]] = [dict() for _ in range(self.num_sets)]
+        self._tick = 0
+        self.stats = BtbStats()
+
+    def lookup(self, pc: int) -> int | None:
+        """Predicted target for the branch at ``pc``, or None on miss."""
+        self.stats.lookups += 1
+        entry = self._sets[pc % self.num_sets].get(pc)
+        if entry is None:
+            return None
+        self.stats.hits += 1
+        self._tick += 1
+        target, _ = entry
+        self._sets[pc % self.num_sets][pc] = (target, self._tick)
+        return target
+
+    def update(self, pc: int, target: int) -> None:
+        """Install/refresh the target of the branch at ``pc``."""
+        btb_set = self._sets[pc % self.num_sets]
+        self._tick += 1
+        if pc not in btb_set and len(btb_set) >= self.assoc:
+            lru = min(btb_set, key=lambda key: btb_set[key][1])
+            del btb_set[lru]
+        btb_set[pc] = (target, self._tick)

@@ -1,0 +1,44 @@
+"""Fetch Target Queue.
+
+The decoupled front end (Table 1: FDIP with 128 FTQ entries) runs branch
+prediction ahead of fetch and deposits predicted fetch regions into the
+FTQ; the instruction prefetcher walks the queue and warms the L1I. In this
+reproduction each FTQ entry is one upcoming instruction's cache-line
+address along the (predicted-correct) path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class FetchTargetQueue:
+    def __init__(self, entries: int = 128):
+        self.entries = entries
+        self._queue: deque[int] = deque()
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.entries
+
+    def push(self, line_addr: int) -> bool:
+        """Append a predicted fetch line; returns False when full."""
+        if self.full:
+            return False
+        # Coalesce duplicate consecutive lines (many insts share a line).
+        if self._queue and self._queue[-1] == line_addr:
+            return True
+        self._queue.append(line_addr)
+        return True
+
+    def pop(self) -> int | None:
+        return self._queue.popleft() if self._queue else None
+
+    def flush(self) -> None:
+        self._queue.clear()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self):
+        return iter(self._queue)

@@ -1,0 +1,42 @@
+"""Return Address Stack.
+
+Fixed-depth circular stack: CALL pushes its return PC, RET pops a
+prediction. Overflow overwrites the oldest entry (standard behaviour), so
+call chains deeper than the stack mispredict on the way out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RasStats:
+    pushes: int = 0
+    pops: int = 0
+    underflows: int = 0
+    mispredicts: int = 0
+
+
+class ReturnAddressStack:
+    def __init__(self, depth: int = 32):
+        self.depth = depth
+        self._stack: list[int] = []
+        self.stats = RasStats()
+
+    def push(self, return_pc: int) -> None:
+        self.stats.pushes += 1
+        if len(self._stack) >= self.depth:
+            del self._stack[0]
+        self._stack.append(return_pc)
+
+    def pop(self) -> int | None:
+        """Predicted return PC, or None when empty (predict fall-through)."""
+        self.stats.pops += 1
+        if not self._stack:
+            self.stats.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,139 @@
+"""Simple branch predictors: bimodal, gshare, static, and perfect.
+
+All share the ``predict(pc, actual)`` / ``update(pc, taken)`` interface of
+:class:`repro.frontend.tage.TagePredictor`. The perfect predictor is used
+in the Section 5.3 analysis ("the benefit ... was significantly higher on a
+system with a perfect branch predictor"), which is what motivated branch
+slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PredictorStats:
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredictions / self.predictions if self.predictions else 0.0
+
+
+class BimodalPredictor:
+    """Per-PC 2-bit saturating counters."""
+
+    name = "bimodal"
+
+    def __init__(self, table_bits: int = 13):
+        self.size = 1 << table_bits
+        self._table = [2] * self.size
+        self.stats = PredictorStats()
+
+    def predict(self, pc: int, actual: bool | None = None) -> bool:
+        self.stats.predictions += 1
+        pred = self._table[pc % self.size] >= 2
+        if actual is not None and pred != actual:
+            self.stats.mispredictions += 1
+        return pred
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = pc % self.size
+        ctr = self._table[idx]
+        self._table[idx] = min(ctr + 1, 3) if taken else max(ctr - 1, 0)
+
+    def note_branch(self, taken: bool) -> None:
+        pass
+
+
+class GsharePredictor:
+    """Global-history-XOR-PC indexed 2-bit counters."""
+
+    name = "gshare"
+
+    def __init__(self, table_bits: int = 13, history_bits: int = 12):
+        self.size = 1 << table_bits
+        self.history_bits = history_bits
+        self._table = [2] * self.size
+        self._ghist = 0
+        self.stats = PredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._ghist) % self.size
+
+    def predict(self, pc: int, actual: bool | None = None) -> bool:
+        self.stats.predictions += 1
+        pred = self._table[self._index(pc)] >= 2
+        if actual is not None and pred != actual:
+            self.stats.mispredictions += 1
+        return pred
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = self._index(pc)
+        ctr = self._table[idx]
+        self._table[idx] = min(ctr + 1, 3) if taken else max(ctr - 1, 0)
+        self._ghist = ((self._ghist << 1) | int(taken)) & ((1 << self.history_bits) - 1)
+
+    def note_branch(self, taken: bool) -> None:
+        self._ghist = ((self._ghist << 1) | int(taken)) & ((1 << self.history_bits) - 1)
+
+
+class AlwaysTakenPredictor:
+    """Static predict-taken baseline."""
+
+    name = "always_taken"
+
+    def __init__(self):
+        self.stats = PredictorStats()
+
+    def predict(self, pc: int, actual: bool | None = None) -> bool:
+        self.stats.predictions += 1
+        if actual is not None and actual is not True:
+            self.stats.mispredictions += 1
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+    def note_branch(self, taken: bool) -> None:
+        pass
+
+
+class PerfectPredictor:
+    """Oracle predictor (ablation only; requires the actual outcome)."""
+
+    name = "perfect"
+
+    def __init__(self):
+        self.stats = PredictorStats()
+
+    def predict(self, pc: int, actual: bool | None = None) -> bool:
+        self.stats.predictions += 1
+        if actual is None:
+            raise ValueError("PerfectPredictor needs the actual outcome")
+        return actual
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+    def note_branch(self, taken: bool) -> None:
+        pass
+
+
+def make_predictor(name: str):
+    """Construct a branch predictor by name."""
+    from .tage import TagePredictor
+
+    registry = {
+        "tage": TagePredictor,
+        "bimodal": BimodalPredictor,
+        "gshare": GsharePredictor,
+        "always_taken": AlwaysTakenPredictor,
+        "perfect": PerfectPredictor,
+    }
+    try:
+        return registry[name]()
+    except KeyError:
+        raise ValueError(f"unknown predictor {name!r}; known: {sorted(registry)}") from None

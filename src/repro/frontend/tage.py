@@ -1,0 +1,204 @@
+"""TAGE branch predictor, after Seznec [103] (Table 1's predictor).
+
+A base bimodal table plus ``num_tables`` tagged components indexed with
+geometrically increasing global-history lengths. Folded-history registers
+are maintained incrementally (the circular-shift trick from the original
+design) so prediction cost is O(num_tables) per branch.
+
+Interface note: all predictors in this package expose
+``predict(pc, actual) -> bool`` and ``update(pc, taken) -> None``. The
+``actual`` argument exists only so the *perfect* predictor used in the
+Section 5.3 ablation can be swapped in transparently; TAGE ignores it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class _FoldedHistory:
+    """Incrementally folded global history (compressed to ``bits`` bits)."""
+
+    __slots__ = ("value", "bits", "length", "_out_shift")
+
+    def __init__(self, length: int, bits: int):
+        self.value = 0
+        self.bits = bits
+        self.length = length
+        self._out_shift = length % bits
+
+    def update(self, new_bit: int, outgoing_bit: int) -> None:
+        self.value = ((self.value << 1) | new_bit) & ((1 << self.bits) - 1) ^ (
+            self.value >> (self.bits - 1)
+        )
+        self.value ^= outgoing_bit << self._out_shift
+        self.value &= (1 << self.bits) - 1
+
+
+@dataclass
+class TageStats:
+    predictions: int = 0
+    mispredictions: int = 0
+    provider_hits: int = 0
+    allocations: int = 0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredictions / self.predictions if self.predictions else 0.0
+
+
+class TagePredictor:
+    """TAGE with a bimodal base and tagged geometric-history components."""
+
+    name = "tage"
+
+    def __init__(
+        self,
+        num_tables: int = 6,
+        table_bits: int = 10,
+        tag_bits: int = 9,
+        min_history: int = 4,
+        max_history: int = 256,
+        base_bits: int = 13,
+        seed: int = 12345,
+    ):
+        self.num_tables = num_tables
+        self.table_size = 1 << table_bits
+        self.table_bits = table_bits
+        self.tag_bits = tag_bits
+        self.base_size = 1 << base_bits
+        # Geometric history length series L_i.
+        ratio = (max_history / min_history) ** (1.0 / max(num_tables - 1, 1))
+        self.history_lengths = [
+            max(1, int(round(min_history * ratio**i))) for i in range(num_tables)
+        ]
+        # Base bimodal: 2-bit counters initialised weakly taken.
+        self._base = [2] * self.base_size
+        # Tagged tables: parallel arrays (3-bit ctr, tag, 2-bit useful).
+        self._ctr = [[4] * self.table_size for _ in range(num_tables)]
+        self._tag = [[-1] * self.table_size for _ in range(num_tables)]
+        self._useful = [[0] * self.table_size for _ in range(num_tables)]
+        self._fold_idx = [
+            _FoldedHistory(length, table_bits) for length in self.history_lengths
+        ]
+        self._fold_tag0 = [
+            _FoldedHistory(length, tag_bits) for length in self.history_lengths
+        ]
+        self._fold_tag1 = [
+            _FoldedHistory(length, tag_bits - 1) for length in self.history_lengths
+        ]
+        self._ghist = 0  # full global history as an int bitvector
+        self._rng_state = seed or 1
+        self._last = None  # internal: details of the last predict() call
+        self.stats = TageStats()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _rand(self) -> int:
+        # xorshift32: deterministic allocation tie-breaking.
+        x = self._rng_state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self._rng_state = x
+        return x
+
+    def _index(self, pc: int, table: int) -> int:
+        return (pc ^ (pc >> self.table_bits) ^ self._fold_idx[table].value) % self.table_size
+
+    def _tag_of(self, pc: int, table: int) -> int:
+        return (
+            pc ^ self._fold_tag0[table].value ^ (self._fold_tag1[table].value << 1)
+        ) & ((1 << self.tag_bits) - 1)
+
+    def _base_index(self, pc: int) -> int:
+        return pc % self.base_size
+
+    # -- interface ---------------------------------------------------------------
+
+    def predict(self, pc: int, actual: bool | None = None) -> bool:
+        """Predict the direction of the conditional branch at ``pc``."""
+        provider = -1
+        alt = -1
+        provider_idx = alt_idx = 0
+        for table in range(self.num_tables - 1, -1, -1):
+            idx = self._index(pc, table)
+            if self._tag[table][idx] == self._tag_of(pc, table):
+                if provider < 0:
+                    provider, provider_idx = table, idx
+                else:
+                    alt, alt_idx = table, idx
+                    break
+        base_pred = self._base[self._base_index(pc)] >= 2
+        if alt >= 0:
+            alt_pred = self._ctr[alt][alt_idx] >= 4
+        else:
+            alt_pred = base_pred
+        if provider >= 0:
+            pred = self._ctr[provider][provider_idx] >= 4
+            self.stats.provider_hits += 1
+        else:
+            pred = base_pred
+        self._last = (pc, provider, provider_idx, alt_pred, pred)
+        self.stats.predictions += 1
+        return pred
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train on the resolved outcome and advance global history."""
+        if self._last is None or self._last[0] != pc:
+            # update() without a matching predict (e.g. replay): predict first.
+            self.predict(pc)
+        _, provider, provider_idx, alt_pred, pred = self._last
+        self._last = None
+        if pred != taken:
+            self.stats.mispredictions += 1
+
+        if provider >= 0:
+            ctr = self._ctr[provider][provider_idx]
+            self._ctr[provider][provider_idx] = min(ctr + 1, 7) if taken else max(ctr - 1, 0)
+            if pred != alt_pred:
+                useful = self._useful[provider][provider_idx]
+                self._useful[provider][provider_idx] = (
+                    min(useful + 1, 3) if pred == taken else max(useful - 1, 0)
+                )
+        else:
+            idx = self._base_index(pc)
+            ctr = self._base[idx]
+            self._base[idx] = min(ctr + 1, 3) if taken else max(ctr - 1, 0)
+
+        # Allocate a longer-history entry on a misprediction.
+        if pred != taken and provider < self.num_tables - 1:
+            candidates = []
+            for table in range(provider + 1, self.num_tables):
+                idx = self._index(pc, table)
+                if self._useful[table][idx] == 0:
+                    candidates.append((table, idx))
+            if candidates:
+                table, idx = candidates[self._rand() % len(candidates)]
+                self._ctr[table][idx] = 4 if taken else 3
+                self._tag[table][idx] = self._tag_of(pc, table)
+                self._useful[table][idx] = 0
+                self.stats.allocations += 1
+            else:
+                for table in range(provider + 1, self.num_tables):
+                    idx = self._index(pc, table)
+                    self._useful[table][idx] = max(self._useful[table][idx] - 1, 0)
+
+        self._push_history(taken)
+
+    def note_branch(self, taken: bool) -> None:
+        """Advance history for a non-conditional control transfer."""
+        self._push_history(taken)
+
+    def _push_history(self, taken: bool) -> None:
+        bit = 1 if taken else 0
+        self._ghist = (self._ghist << 1) | bit
+        for table in range(self.num_tables):
+            length = self.history_lengths[table]
+            outgoing = (self._ghist >> length) & 1
+            self._fold_idx[table].update(bit, outgoing)
+            self._fold_tag0[table].update(bit, outgoing)
+            self._fold_tag1[table].update(bit, outgoing)
+        # Bound the history integer so it cannot grow without limit.
+        max_len = self.history_lengths[-1] + 1
+        self._ghist &= (1 << (max_len + 1)) - 1

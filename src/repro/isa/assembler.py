@@ -1,0 +1,198 @@
+"""Label-based assembler DSL for building mini-ISA programs.
+
+All workloads in :mod:`repro.workloads` are written against this builder so
+they read like assembly listings (compare Figure 3 in the paper)::
+
+    a = Asm()
+    a.label("loop")
+    a.load("r2", "r1", 0)          # r2 <- MEM[r1 + 0]   (next pointer)
+    a.load("r3", "r1", 8)          # r3 <- MEM[r1 + 8]   (node value)
+    a.mov("r1", "r2")
+    a.bne("r1", "r0", "loop")
+    a.halt()
+    program = a.build()
+
+Branch targets may be forward references; they are resolved in
+:meth:`Asm.build`.
+"""
+
+from __future__ import annotations
+
+from .instruction import StaticInst
+from .opcodes import Opcode
+from .program import Program, ProgramError
+from .registers import parse_reg
+
+Reg = str | int
+
+
+class Asm:
+    """Incremental program builder with label fixups."""
+
+    def __init__(self):
+        self._insts: list[StaticInst] = []
+        self._labels: dict[str, int] = {}
+        self._fixups: list[tuple[int, str]] = []  # (inst index, label name)
+
+    # -- infrastructure ------------------------------------------------------
+
+    def label(self, name: str) -> "Asm":
+        """Define ``name`` at the current position."""
+        if name in self._labels:
+            raise ProgramError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._insts)
+        return self
+
+    def _emit(
+        self,
+        opcode: Opcode,
+        dst: Reg | None = None,
+        src1: Reg | None = None,
+        src2: Reg | None = None,
+        imm: int = 0,
+        target: str | None = None,
+    ) -> "Asm":
+        idx = len(self._insts)
+        inst = StaticInst(
+            idx,
+            opcode,
+            dst=None if dst is None else parse_reg(dst),
+            src1=None if src1 is None else parse_reg(src1),
+            src2=None if src2 is None else parse_reg(src2),
+            imm=imm,
+        )
+        self._insts.append(inst)
+        if target is not None:
+            self._fixups.append((idx, target))
+        return self
+
+    def build(self) -> Program:
+        """Resolve labels and return the validated :class:`Program`."""
+        for idx, name in self._fixups:
+            if name not in self._labels:
+                raise ProgramError(f"undefined label {name!r}")
+            self._insts[idx].target = self._labels[name]
+        return Program(self._insts, self._labels)
+
+    def here(self) -> int:
+        """Current instruction index (useful for size accounting in tests)."""
+        return len(self._insts)
+
+    # -- moves and ALU -------------------------------------------------------
+
+    def movi(self, rd: Reg, imm: int) -> "Asm":
+        return self._emit(Opcode.MOVI, dst=rd, imm=imm)
+
+    def mov(self, rd: Reg, rs: Reg) -> "Asm":
+        return self._emit(Opcode.MOV, dst=rd, src1=rs)
+
+    def add(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self._emit(Opcode.ADD, dst=rd, src1=rs1, src2=rs2)
+
+    def sub(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self._emit(Opcode.SUB, dst=rd, src1=rs1, src2=rs2)
+
+    def mul(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self._emit(Opcode.MUL, dst=rd, src1=rs1, src2=rs2)
+
+    def div(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self._emit(Opcode.DIV, dst=rd, src1=rs1, src2=rs2)
+
+    def and_(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self._emit(Opcode.AND, dst=rd, src1=rs1, src2=rs2)
+
+    def or_(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self._emit(Opcode.OR, dst=rd, src1=rs1, src2=rs2)
+
+    def xor(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self._emit(Opcode.XOR, dst=rd, src1=rs1, src2=rs2)
+
+    def shl(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self._emit(Opcode.SHL, dst=rd, src1=rs1, src2=rs2)
+
+    def shr(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self._emit(Opcode.SHR, dst=rd, src1=rs1, src2=rs2)
+
+    def addi(self, rd: Reg, rs: Reg, imm: int) -> "Asm":
+        return self._emit(Opcode.ADDI, dst=rd, src1=rs, imm=imm)
+
+    def subi(self, rd: Reg, rs: Reg, imm: int) -> "Asm":
+        return self._emit(Opcode.SUBI, dst=rd, src1=rs, imm=imm)
+
+    def muli(self, rd: Reg, rs: Reg, imm: int) -> "Asm":
+        return self._emit(Opcode.MULI, dst=rd, src1=rs, imm=imm)
+
+    def andi(self, rd: Reg, rs: Reg, imm: int) -> "Asm":
+        return self._emit(Opcode.ANDI, dst=rd, src1=rs, imm=imm)
+
+    def xori(self, rd: Reg, rs: Reg, imm: int) -> "Asm":
+        return self._emit(Opcode.XORI, dst=rd, src1=rs, imm=imm)
+
+    def shli(self, rd: Reg, rs: Reg, imm: int) -> "Asm":
+        return self._emit(Opcode.SHLI, dst=rd, src1=rs, imm=imm)
+
+    def shri(self, rd: Reg, rs: Reg, imm: int) -> "Asm":
+        return self._emit(Opcode.SHRI, dst=rd, src1=rs, imm=imm)
+
+    def fadd(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self._emit(Opcode.FADD, dst=rd, src1=rs1, src2=rs2)
+
+    def fmul(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self._emit(Opcode.FMUL, dst=rd, src1=rs1, src2=rs2)
+
+    def fdiv(self, rd: Reg, rs1: Reg, rs2: Reg) -> "Asm":
+        return self._emit(Opcode.FDIV, dst=rd, src1=rs1, src2=rs2)
+
+    # -- memory ---------------------------------------------------------------
+
+    def load(self, rd: Reg, base: Reg, imm: int = 0) -> "Asm":
+        return self._emit(Opcode.LOAD, dst=rd, src1=base, imm=imm)
+
+    def load_idx(self, rd: Reg, base: Reg, index: Reg, imm: int = 0) -> "Asm":
+        return self._emit(Opcode.LOAD_IDX, dst=rd, src1=base, src2=index, imm=imm)
+
+    def store(self, base: Reg, value: Reg, imm: int = 0) -> "Asm":
+        return self._emit(Opcode.STORE, dst=value, src1=base, imm=imm)
+
+    def store_idx(self, base: Reg, index: Reg, value: Reg, imm: int = 0) -> "Asm":
+        return self._emit(Opcode.STORE_IDX, dst=value, src1=base, src2=index, imm=imm)
+
+    def prefetch(self, base: Reg, imm: int = 0) -> "Asm":
+        return self._emit(Opcode.PREFETCH, src1=base, imm=imm)
+
+    # -- control flow ----------------------------------------------------------
+
+    def beq(self, rs1: Reg, rs2: Reg, target: str) -> "Asm":
+        return self._emit(Opcode.BEQ, src1=rs1, src2=rs2, target=target)
+
+    def bne(self, rs1: Reg, rs2: Reg, target: str) -> "Asm":
+        return self._emit(Opcode.BNE, src1=rs1, src2=rs2, target=target)
+
+    def blt(self, rs1: Reg, rs2: Reg, target: str) -> "Asm":
+        return self._emit(Opcode.BLT, src1=rs1, src2=rs2, target=target)
+
+    def bge(self, rs1: Reg, rs2: Reg, target: str) -> "Asm":
+        return self._emit(Opcode.BGE, src1=rs1, src2=rs2, target=target)
+
+    def ble(self, rs1: Reg, rs2: Reg, target: str) -> "Asm":
+        return self._emit(Opcode.BLE, src1=rs1, src2=rs2, target=target)
+
+    def bgt(self, rs1: Reg, rs2: Reg, target: str) -> "Asm":
+        return self._emit(Opcode.BGT, src1=rs1, src2=rs2, target=target)
+
+    def jmp(self, target: str) -> "Asm":
+        return self._emit(Opcode.JMP, target=target)
+
+    def call(self, target: str) -> "Asm":
+        return self._emit(Opcode.CALL, target=target)
+
+    def ret(self) -> "Asm":
+        return self._emit(Opcode.RET)
+
+    # -- misc -------------------------------------------------------------------
+
+    def nop(self) -> "Asm":
+        return self._emit(Opcode.NOP)
+
+    def halt(self) -> "Asm":
+        return self._emit(Opcode.HALT)

@@ -1,0 +1,194 @@
+"""Opcode definitions for the mini-ISA used throughout the reproduction.
+
+The paper targets x86, but CRISP itself only needs an ISA with registers,
+loads/stores (so dependencies can flow through memory), conditional branches,
+and a mix of short- and long-latency arithmetic. This module defines such an
+ISA along with the per-opcode metadata the timing model consumes:
+
+* ``FuClass`` -- which functional-unit port pool the op issues to
+  (Table 1: 4 ALU, 2 Load, 1 Store).
+* ``latency`` -- fixed execution latency in cycles for non-memory ops,
+  mirroring published Skylake latencies (Abel & Reineke / Agner Fog, the
+  sources the paper cites for its critical-path weights).
+* ``size`` -- encoded size in bytes (x86-flavoured, variable length) used to
+  lay out code for i-cache modelling; the CRISP prefix adds one byte.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FuClass(enum.Enum):
+    """Functional-unit port pool an opcode issues to."""
+
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    NONE = "none"  # never reaches the scheduler (e.g. HALT)
+
+
+class Opcode(enum.Enum):
+    """All opcodes of the mini-ISA."""
+
+    # Moves / immediates
+    MOVI = "movi"  # rd <- imm
+    MOV = "mov"  # rd <- rs1
+    # Integer ALU, register-register
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    # Integer ALU, register-immediate
+    ADDI = "addi"
+    SUBI = "subi"
+    MULI = "muli"
+    ANDI = "andi"
+    XORI = "xori"
+    SHLI = "shli"
+    SHRI = "shri"
+    # Floating-point-class ops (latency class only; values stay integers)
+    FADD = "fadd"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    # Memory
+    LOAD = "load"  # rd <- MEM[rs1 + imm]
+    LOAD_IDX = "load_idx"  # rd <- MEM[rs1 + rs2 + imm]
+    STORE = "store"  # MEM[rs1 + imm] <- rs2
+    STORE_IDX = "store_idx"  # MEM[rs1 + rs2 + imm] <- rs3 (encoded via dst)
+    PREFETCH = "prefetch"  # non-binding load of MEM[rs1 + imm]
+    # Control flow
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    BLE = "ble"
+    BGT = "bgt"
+    JMP = "jmp"
+    CALL = "call"
+    RET = "ret"
+    # Misc
+    NOP = "nop"
+    HALT = "halt"
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static metadata for one opcode."""
+
+    fu: FuClass
+    latency: int
+    size: int
+    reads_mem: bool = False
+    writes_mem: bool = False
+    is_branch: bool = False
+    is_cond: bool = False
+    writes_reg: bool = True
+
+
+_ALU1 = OpInfo(FuClass.ALU, 1, 3)
+_ALU1_IMM = OpInfo(FuClass.ALU, 1, 4)
+
+OP_INFO: dict[Opcode, OpInfo] = {
+    Opcode.MOVI: OpInfo(FuClass.ALU, 1, 5),
+    Opcode.MOV: OpInfo(FuClass.ALU, 1, 3),
+    Opcode.ADD: _ALU1,
+    Opcode.SUB: _ALU1,
+    Opcode.MUL: OpInfo(FuClass.ALU, 3, 4),
+    Opcode.DIV: OpInfo(FuClass.ALU, 24, 4),
+    Opcode.AND: _ALU1,
+    Opcode.OR: _ALU1,
+    Opcode.XOR: _ALU1,
+    Opcode.SHL: _ALU1,
+    Opcode.SHR: _ALU1,
+    Opcode.ADDI: _ALU1_IMM,
+    Opcode.SUBI: _ALU1_IMM,
+    Opcode.MULI: OpInfo(FuClass.ALU, 3, 5),
+    Opcode.ANDI: _ALU1_IMM,
+    Opcode.XORI: _ALU1_IMM,
+    Opcode.SHLI: _ALU1_IMM,
+    Opcode.SHRI: _ALU1_IMM,
+    Opcode.FADD: OpInfo(FuClass.ALU, 4, 4),
+    Opcode.FMUL: OpInfo(FuClass.ALU, 4, 4),
+    Opcode.FDIV: OpInfo(FuClass.ALU, 20, 4),
+    Opcode.LOAD: OpInfo(FuClass.LOAD, 4, 4, reads_mem=True),
+    Opcode.LOAD_IDX: OpInfo(FuClass.LOAD, 4, 5, reads_mem=True),
+    Opcode.STORE: OpInfo(FuClass.STORE, 1, 4, writes_mem=True, writes_reg=False),
+    Opcode.STORE_IDX: OpInfo(FuClass.STORE, 1, 5, writes_mem=True, writes_reg=False),
+    Opcode.PREFETCH: OpInfo(FuClass.LOAD, 1, 4, writes_reg=False),
+    Opcode.BEQ: OpInfo(FuClass.ALU, 1, 2, is_branch=True, is_cond=True, writes_reg=False),
+    Opcode.BNE: OpInfo(FuClass.ALU, 1, 2, is_branch=True, is_cond=True, writes_reg=False),
+    Opcode.BLT: OpInfo(FuClass.ALU, 1, 2, is_branch=True, is_cond=True, writes_reg=False),
+    Opcode.BGE: OpInfo(FuClass.ALU, 1, 2, is_branch=True, is_cond=True, writes_reg=False),
+    Opcode.BLE: OpInfo(FuClass.ALU, 1, 2, is_branch=True, is_cond=True, writes_reg=False),
+    Opcode.BGT: OpInfo(FuClass.ALU, 1, 2, is_branch=True, is_cond=True, writes_reg=False),
+    Opcode.JMP: OpInfo(FuClass.ALU, 1, 5, is_branch=True, writes_reg=False),
+    Opcode.CALL: OpInfo(FuClass.ALU, 1, 5, is_branch=True, writes_reg=False),
+    Opcode.RET: OpInfo(FuClass.ALU, 1, 1, is_branch=True, writes_reg=False),
+    Opcode.NOP: OpInfo(FuClass.ALU, 1, 1, writes_reg=False),
+    Opcode.HALT: OpInfo(FuClass.NONE, 1, 2, writes_reg=False),
+}
+
+#: Conditional branch comparison functions, shared by emulator and tests.
+BRANCH_CONDITIONS = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLT: lambda a, b: a < b,
+    Opcode.BGE: lambda a, b: a >= b,
+    Opcode.BLE: lambda a, b: a <= b,
+    Opcode.BGT: lambda a, b: a > b,
+}
+
+#: ALU arithmetic semantics (register-register and register-immediate share
+#: these; the emulator selects the second operand).
+ALU_FUNCTIONS = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: lambda a, b: a // b if b else 0,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: a << (b & 63),
+    Opcode.SHR: lambda a, b: a >> (b & 63),
+    Opcode.ADDI: lambda a, b: a + b,
+    Opcode.SUBI: lambda a, b: a - b,
+    Opcode.MULI: lambda a, b: a * b,
+    Opcode.ANDI: lambda a, b: a & b,
+    Opcode.XORI: lambda a, b: a ^ b,
+    Opcode.SHLI: lambda a, b: a << (b & 63),
+    Opcode.SHRI: lambda a, b: a >> (b & 63),
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FMUL: lambda a, b: a * b,
+    Opcode.FDIV: lambda a, b: a // b if b else 0,
+}
+
+#: Opcodes whose second source operand is the immediate field.
+IMMEDIATE_ALU_OPS = frozenset(
+    {
+        Opcode.ADDI,
+        Opcode.SUBI,
+        Opcode.MULI,
+        Opcode.ANDI,
+        Opcode.XORI,
+        Opcode.SHLI,
+        Opcode.SHRI,
+    }
+)
+
+#: 64-bit word mask, available to workload builders that need to truncate
+#: intermediate values (register values themselves are unbounded Python
+#: ints; the emulator does not wrap, and workloads bound their own values
+#: with AND where realism requires it).
+WORD_MASK = (1 << 64) - 1
+
+
+def info(op: Opcode) -> OpInfo:
+    """Return the :class:`OpInfo` metadata for ``op``."""
+    return OP_INFO[op]

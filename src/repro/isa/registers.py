@@ -1,0 +1,47 @@
+"""Architectural register file definition.
+
+Thirty-two general-purpose 64-bit registers, ``r0`` .. ``r31``. There is no
+hardwired zero register; all registers are read/write. Two conventional
+aliases exist so that workload code reads naturally:
+
+* ``sp`` (= r30) -- stack pointer, used by workloads that spill values
+  through memory (the behaviour that defeats register-only IBDA, Section 3.5).
+* ``fp`` (= r29) -- frame pointer.
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 32
+
+SP = 30
+FP = 29
+
+_ALIASES = {"sp": SP, "fp": FP}
+
+
+def parse_reg(name: str | int) -> int:
+    """Parse a register name (``"r7"``, ``"sp"``, or an int) to its index."""
+    if isinstance(name, int):
+        if not 0 <= name < NUM_REGS:
+            raise ValueError(f"register index out of range: {name}")
+        return name
+    key = name.strip().lower()
+    if key in _ALIASES:
+        return _ALIASES[key]
+    if key.startswith("r"):
+        try:
+            idx = int(key[1:])
+        except ValueError:
+            raise ValueError(f"malformed register name: {name!r}") from None
+        if 0 <= idx < NUM_REGS:
+            return idx
+    raise ValueError(f"unknown register: {name!r}")
+
+
+def reg_name(idx: int) -> str:
+    """Return the canonical name for register index ``idx``."""
+    if idx == SP:
+        return "sp"
+    if idx == FP:
+        return "fp"
+    return f"r{idx}"

@@ -1,0 +1,35 @@
+"""Memory substrate: caches, MSHRs, DRAM, prefetchers, and the hierarchy."""
+
+from .cache import Cache, CacheStats
+from .dram import Dram, DramConfig, DramStats
+from .hierarchy import AccessResult, HierarchyConfig, MemoryHierarchy
+from .mshr import MshrFile, MshrStats
+from .prefetchers import (
+    BestOffsetPrefetcher,
+    GhbPrefetcher,
+    NullPrefetcher,
+    Prefetcher,
+    StreamPrefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+)
+
+__all__ = [
+    "AccessResult",
+    "BestOffsetPrefetcher",
+    "Cache",
+    "CacheStats",
+    "Dram",
+    "DramConfig",
+    "DramStats",
+    "GhbPrefetcher",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "MshrFile",
+    "MshrStats",
+    "NullPrefetcher",
+    "Prefetcher",
+    "StreamPrefetcher",
+    "StridePrefetcher",
+    "make_prefetcher",
+]

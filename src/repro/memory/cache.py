@@ -1,0 +1,126 @@
+"""Set-associative cache model with LRU replacement.
+
+Timing is owned by :mod:`repro.memory.hierarchy`; this module models only
+presence/eviction and per-level statistics. Addresses handed to the cache
+are *byte* addresses; the cache works internally on line addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    prefetch_fills: int = 0
+    prefetch_hits: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def mpki(self, kilo_insts: float) -> float:
+        """Misses per kilo-instruction given ``kilo_insts`` = insts / 1000."""
+        return self.misses / kilo_insts if kilo_insts else 0.0
+
+
+class Cache:
+    """One set-associative cache level with true-LRU replacement.
+
+    Parameters
+    ----------
+    size_bytes / assoc / line_bytes:
+        Geometry. ``size_bytes`` must be divisible by ``assoc * line_bytes``.
+    name:
+        Used in stats reporting ("L1D", "LLC", ...).
+    """
+
+    def __init__(self, size_bytes: int, assoc: int, line_bytes: int = 64, name: str = "cache"):
+        self.name = name
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        if self.num_sets < 1:
+            raise ValueError(f"{name}: size {size_bytes} too small for {assoc}-way, {line_bytes}B lines")
+        # Sets round down when the geometry does not divide evenly (e.g. the
+        # paper's 1 MiB / 20-way LLC); the effective size is what we model.
+        self.size_bytes = self.num_sets * assoc * line_bytes
+        # Each set is a dict {line_addr: last_use_tick}; dict insertion order
+        # is not relied upon -- we track recency with a logical tick.
+        self._sets: list[dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._tick = 0
+        self.stats = CacheStats()
+
+    # -- address helpers ------------------------------------------------------
+
+    def line_addr(self, byte_addr: int) -> int:
+        return byte_addr - (byte_addr % self.line_bytes)
+
+    def _set_index(self, line: int) -> int:
+        return (line // self.line_bytes) % self.num_sets
+
+    # -- operations -----------------------------------------------------------
+
+    def lookup(self, byte_addr: int, *, update_lru: bool = True, count: bool = True) -> bool:
+        """Probe for the line containing ``byte_addr``.
+
+        Returns ``True`` on hit. ``update_lru=False`` gives a non-intrusive
+        probe (used by prefetchers); ``count=False`` suppresses statistics.
+        """
+        line = self.line_addr(byte_addr)
+        cache_set = self._sets[self._set_index(line)]
+        hit = line in cache_set
+        if count:
+            self.stats.accesses += 1
+            if hit:
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+        if hit and update_lru:
+            self._tick += 1
+            cache_set[line] = self._tick
+        return hit
+
+    def contains(self, byte_addr: int) -> bool:
+        """Presence check with no statistics or LRU side effects."""
+        line = self.line_addr(byte_addr)
+        return line in self._sets[self._set_index(line)]
+
+    def fill(self, byte_addr: int, *, from_prefetch: bool = False) -> int | None:
+        """Install the line containing ``byte_addr``; return evicted line or None."""
+        line = self.line_addr(byte_addr)
+        cache_set = self._sets[self._set_index(line)]
+        self._tick += 1
+        evicted = None
+        if line not in cache_set and len(cache_set) >= self.assoc:
+            evicted = min(cache_set, key=cache_set.__getitem__)
+            del cache_set[evicted]
+            self.stats.evictions += 1
+        cache_set[line] = self._tick
+        self.stats.fills += 1
+        if from_prefetch:
+            self.stats.prefetch_fills += 1
+        return evicted
+
+    def invalidate(self, byte_addr: int) -> bool:
+        """Drop the line containing ``byte_addr``; return True if present."""
+        line = self.line_addr(byte_addr)
+        cache_set = self._sets[self._set_index(line)]
+        if line in cache_set:
+            del cache_set[line]
+            return True
+        return False
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(s) for s in self._sets)
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()

@@ -1,0 +1,101 @@
+"""Banked DDR4 main-memory model (Ramulator stand-in).
+
+Models the aspects of DRAM that matter to CRISP's evaluation:
+
+* long, *variable* access latency (row-buffer hit vs. miss),
+* bank-level parallelism, which is what makes memory-level parallelism
+  (MLP) profitable -- independent delinquent loads issued early by CRISP
+  overlap across banks,
+* a shared data bus that serialises transfers on one channel
+  (Table 1: DDR4-2400, one channel).
+
+All timing is expressed in CPU cycles at the 3 GHz core clock of Table 1.
+DDR4-2400 has tCK = 0.833 ns, so one memory cycle is 2.5 CPU cycles; the
+constants below are standard DDR4-2400 CL17 timings converted to CPU cycles
+and rounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DramConfig:
+    """Timing/geometry parameters for the DRAM model (CPU cycles)."""
+
+    num_banks: int = 16
+    row_bytes: int = 8192
+    t_cas: int = 42  # CL 17 @ 2.5 cyc/tCK
+    t_rcd: int = 42
+    t_rp: int = 42
+    t_burst: int = 10  # 64B line, BL8 on a 64-bit channel
+    t_controller: int = 20  # queueing/controller fixed overhead
+    line_bytes: int = 64
+
+
+@dataclass
+class DramStats:
+    requests: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    total_latency: int = 0
+    bus_stall_cycles: int = 0
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.requests if self.requests else 0.0
+
+    @property
+    def average_latency(self) -> float:
+        return self.total_latency / self.requests if self.requests else 0.0
+
+
+class Dram:
+    """Single-channel, multi-bank DRAM with open-page policy.
+
+    The model is transaction-level: :meth:`request` returns the completion
+    time of a 64-byte line fetch issued at time ``now``, advancing bank and
+    bus reservations as a side effect. Requests to a busy bank queue behind
+    it (FCFS per bank), which is how bank conflicts lengthen latency.
+    """
+
+    def __init__(self, config: DramConfig | None = None):
+        self.config = config or DramConfig()
+        self._bank_free = [0] * self.config.num_banks
+        self._open_row: list[int | None] = [None] * self.config.num_banks
+        self._bus_free = 0
+        self.stats = DramStats()
+
+    def _map(self, byte_addr: int) -> tuple[int, int]:
+        """Address mapping: line-interleaved banks, rows above that."""
+        line = byte_addr // self.config.line_bytes
+        bank = line % self.config.num_banks
+        row = byte_addr // self.config.row_bytes
+        return bank, row
+
+    def request(self, byte_addr: int, now: int) -> int:
+        """Issue a line read at ``now``; return its completion cycle."""
+        cfg = self.config
+        bank, row = self._map(byte_addr)
+        start = max(now + cfg.t_controller, self._bank_free[bank])
+        if self._open_row[bank] == row:
+            self.stats.row_hits += 1
+            ready = start + cfg.t_cas
+        else:
+            self.stats.row_misses += 1
+            precharge = cfg.t_rp if self._open_row[bank] is not None else 0
+            ready = start + precharge + cfg.t_rcd + cfg.t_cas
+            self._open_row[bank] = row
+        # Data transfer needs the shared bus.
+        transfer_start = max(ready, self._bus_free)
+        self.stats.bus_stall_cycles += transfer_start - ready
+        completion = transfer_start + cfg.t_burst
+        self._bus_free = completion
+        self._bank_free[bank] = ready  # bank busy until column access done
+        self.stats.requests += 1
+        self.stats.total_latency += completion - now
+        return completion
+
+    def reset_stats(self) -> None:
+        self.stats = DramStats()

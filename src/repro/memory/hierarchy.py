@@ -1,0 +1,214 @@
+"""Memory hierarchy: L1I + L1D + shared LLC + DRAM + prefetchers.
+
+Geometry and latencies default to Table 1 (Skylake-like): 32 KiB/8-way L1s,
+1 MiB/20-way LLC, 4-cycle L1D, 3-cycle L1I, 36-cycle LLC, DDR4-2400 behind
+it. The hierarchy is transaction-level: an access issued at cycle ``now``
+returns the cycle its data is available, advancing DRAM bank/bus state as a
+side effect. Outstanding misses live in an MSHR file (demand) and a pending
+table (prefetches); their fills are applied lazily as time advances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cache import Cache
+from .dram import Dram, DramConfig
+from .mshr import MshrFile
+from .prefetchers import Prefetcher, make_prefetcher
+
+
+@dataclass
+class HierarchyConfig:
+    """Geometry/latency knobs, defaulting to Table 1."""
+
+    line_bytes: int = 64
+    l1i_size: int = 32 * 1024
+    l1i_assoc: int = 8
+    l1i_latency: int = 3
+    l1d_size: int = 32 * 1024
+    l1d_assoc: int = 8
+    l1d_latency: int = 4
+    llc_size: int = 1024 * 1024
+    llc_assoc: int = 20
+    llc_latency: int = 36
+    l1d_mshrs: int = 16
+    prefetchers: tuple[str, ...] = ("bop", "stream")
+    prefetch_fill_l1: bool = True
+    dram: DramConfig = field(default_factory=DramConfig)
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one data access."""
+
+    completion: int  # cycle the value is available
+    level: str  # "l1" | "llc" | "pf" (prefetch in flight) | "mshr" | "dram"
+    mlp: int  # outstanding demand misses incl. this one at issue time
+
+    @property
+    def llc_miss(self) -> bool:
+        return self.level in ("dram", "mshr")
+
+
+class MemoryHierarchy:
+    """Composable data+instruction memory system for one core."""
+
+    def __init__(self, config: HierarchyConfig | None = None):
+        self.config = config or HierarchyConfig()
+        cfg = self.config
+        self.l1i = Cache(cfg.l1i_size, cfg.l1i_assoc, cfg.line_bytes, "L1I")
+        self.l1d = Cache(cfg.l1d_size, cfg.l1d_assoc, cfg.line_bytes, "L1D")
+        self.llc = Cache(cfg.llc_size, cfg.llc_assoc, cfg.line_bytes, "LLC")
+        self.dram = Dram(cfg.dram)
+        self.mshr = MshrFile(cfg.l1d_mshrs, cfg.line_bytes)
+        self.prefetchers: list[Prefetcher] = [
+            make_prefetcher(name, cfg.line_bytes) for name in cfg.prefetchers
+        ]
+        # line -> completion cycle for in-flight prefetches and I-misses.
+        self._pending_pf: dict[int, int] = {}
+        self._pending_inst: dict[int, int] = {}
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _line(self, addr: int) -> int:
+        return addr - (addr % self.config.line_bytes)
+
+    def _advance(self, now: int) -> None:
+        """Apply all fills that completed at or before ``now``."""
+        for line in self.mshr.expire(now):
+            self.l1d.fill(line)
+            self.llc.fill(line)
+            for pf in self.prefetchers:
+                pf.on_fill(line)
+        done_pf = [line for line, t in self._pending_pf.items() if t <= now]
+        for line in done_pf:
+            del self._pending_pf[line]
+            self.llc.fill(line, from_prefetch=True)
+            if self.config.prefetch_fill_l1:
+                self.l1d.fill(line, from_prefetch=True)
+            # Prefetched fills train the RR table too (with the trigger
+            # address Y-D); without them BOP only ever sees demand bases
+            # and its offset scoring skews on strided streams.
+            for pf in self.prefetchers:
+                pf.on_fill(line, prefetched=True)
+        done_inst = [line for line, t in self._pending_inst.items() if t <= now]
+        for line in done_inst:
+            del self._pending_inst[line]
+            self.l1i.fill(line)
+            self.llc.fill(line)
+
+    def outstanding_demand_misses(self) -> int:
+        return self.mshr.occupancy()
+
+    # -- data side ---------------------------------------------------------------
+
+    def load(self, pc: int, addr: int, now: int) -> AccessResult:
+        """Demand load issued at ``now``; returns data-ready time and level."""
+        cfg = self.config
+        self._advance(now)
+        if self.l1d.lookup(addr):
+            return AccessResult(now + cfg.l1d_latency, "l1", self.mshr.occupancy())
+        # L1 miss: secondary miss to an outstanding line merges.
+        outstanding = self.mshr.lookup(addr)
+        if outstanding is not None:
+            self.mshr.merge(addr)
+            return AccessResult(max(outstanding, now) + cfg.l1d_latency, "mshr", self.mshr.occupancy())
+        line = self._line(addr)
+        if line in self._pending_pf:
+            # Demand access catches an in-flight prefetch.
+            completion = max(self._pending_pf[line], now + cfg.llc_latency)
+            self.llc.stats.prefetch_hits += 1
+            self._train(pc, addr, hit=False, now=now)
+            return AccessResult(completion, "pf", self.mshr.occupancy())
+        if self.llc.lookup(addr):
+            self.l1d.fill(addr)
+            self._train(pc, addr, hit=True, now=now)
+            return AccessResult(now + cfg.llc_latency, "llc", self.mshr.occupancy())
+        # Full miss to DRAM; wait for an MSHR if the file is full.
+        start = now
+        while self.mshr.full:
+            earliest = self.mshr.earliest_completion()
+            assert earliest is not None
+            self.mshr.note_full_stall()
+            start = max(start, earliest)
+            self._advance(start)
+        completion = self.dram.request(addr, start + cfg.llc_latency)
+        self.mshr.allocate(addr, completion)
+        self._train(pc, addr, hit=False, now=now)
+        return AccessResult(completion, "dram", self.mshr.occupancy())
+
+    def software_prefetch(self, pc: int, addr: int, now: int) -> None:
+        """Non-binding prefetch (the PREFETCH opcode of Section 3.1)."""
+        self._advance(now)
+        if self.l1d.lookup(addr, count=False):
+            return
+        self._issue_prefetch(addr, now)
+
+    def store(self, pc: int, addr: int, now: int) -> AccessResult:
+        """Demand store. Write-allocate; the pipeline does not block on it."""
+        cfg = self.config
+        self._advance(now)
+        if self.l1d.lookup(addr):
+            return AccessResult(now + cfg.l1d_latency, "l1", self.mshr.occupancy())
+        level = "llc"
+        if not self.llc.lookup(addr):
+            level = "dram"
+        # Stores retire through the store buffer; model the allocation as an
+        # immediate fill (no demand stall, no MSHR pressure).
+        self.llc.fill(addr)
+        self.l1d.fill(addr)
+        return AccessResult(now + cfg.l1d_latency, level, self.mshr.occupancy())
+
+    def _train(self, pc: int, addr: int, hit: bool, now: int) -> None:
+        for pf in self.prefetchers:
+            for target in pf.on_access(pc, addr, hit):
+                self._issue_prefetch(target, now)
+
+    def _issue_prefetch(self, addr: int, now: int) -> None:
+        line = self._line(addr)
+        if line < 0:
+            return
+        if (
+            line in self._pending_pf
+            or self.mshr.lookup(addr) is not None
+            or self.llc.contains(addr)
+        ):
+            return
+        completion = self.dram.request(addr, now + self.config.llc_latency)
+        self._pending_pf[line] = completion
+
+    # -- instruction side -----------------------------------------------------------
+
+    def inst_fetch(self, addr: int, now: int) -> int:
+        """Fetch the line containing ``addr``; return the cycle it is usable.
+
+        A hit returns ``now`` (the L1I pipeline latency is part of the
+        front-end depth, not an added stall).
+        """
+        self._advance(now)
+        if self.l1i.lookup(addr):
+            return now
+        line = self._line(addr)
+        if line in self._pending_inst:
+            return self._pending_inst[line]
+        if self.llc.lookup(addr):
+            completion = now + self.config.llc_latency
+        else:
+            completion = self.dram.request(addr, now + self.config.llc_latency)
+        self._pending_inst[line] = completion
+        return completion
+
+    def inst_prefetch(self, addr: int, now: int) -> None:
+        """FDIP prefetch of an instruction line (no demand semantics)."""
+        self._advance(now)
+        if self.l1i.lookup(addr, count=False):
+            return
+        line = self._line(addr)
+        if line in self._pending_inst:
+            return
+        if self.llc.contains(addr):
+            completion = now + self.config.llc_latency
+        else:
+            completion = self.dram.request(addr, now + self.config.llc_latency)
+        self._pending_inst[line] = completion

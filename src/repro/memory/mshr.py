@@ -1,0 +1,75 @@
+"""Miss-status holding registers (MSHRs).
+
+The MSHR file bounds the number of outstanding cache misses, i.e. the
+memory-level parallelism (MLP) the core can express -- one of the inputs to
+CRISP's criticality heuristic ("the MLP of the program at the time where the
+load occurs", Section 3.2). Requests to a line that is already outstanding
+merge into the existing entry instead of consuming a new one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MshrStats:
+    allocations: int = 0
+    merges: int = 0
+    full_stalls: int = 0
+    peak_occupancy: int = 0
+
+
+class MshrFile:
+    """Tracks outstanding misses as ``{line_addr: completion_cycle}``."""
+
+    def __init__(self, num_entries: int, line_bytes: int = 64):
+        self.num_entries = num_entries
+        self.line_bytes = line_bytes
+        self._pending: dict[int, int] = {}
+        self.stats = MshrStats()
+
+    def _line(self, byte_addr: int) -> int:
+        return byte_addr - (byte_addr % self.line_bytes)
+
+    def expire(self, now: int) -> list[int]:
+        """Remove and return lines whose fill completed at or before ``now``."""
+        done = [line for line, t in self._pending.items() if t <= now]
+        for line in done:
+            del self._pending[line]
+        return done
+
+    def lookup(self, byte_addr: int) -> int | None:
+        """Completion cycle of an outstanding miss covering ``byte_addr``."""
+        return self._pending.get(self._line(byte_addr))
+
+    def occupancy(self) -> int:
+        return len(self._pending)
+
+    @property
+    def full(self) -> bool:
+        return len(self._pending) >= self.num_entries
+
+    def earliest_completion(self) -> int | None:
+        """Earliest completion among outstanding entries (None if empty)."""
+        return min(self._pending.values()) if self._pending else None
+
+    def allocate(self, byte_addr: int, completion: int) -> None:
+        """Record a new outstanding miss; caller must ensure not ``full``."""
+        if self.full:
+            raise RuntimeError("MSHR allocate while full")
+        line = self._line(byte_addr)
+        self._pending[line] = completion
+        self.stats.allocations += 1
+        self.stats.peak_occupancy = max(self.stats.peak_occupancy, len(self._pending))
+
+    def merge(self, byte_addr: int) -> int:
+        """Merge into an outstanding entry; returns its completion cycle."""
+        completion = self.lookup(byte_addr)
+        if completion is None:
+            raise KeyError(f"no outstanding miss for {byte_addr:#x}")
+        self.stats.merges += 1
+        return completion
+
+    def note_full_stall(self) -> None:
+        self.stats.full_stalls += 1

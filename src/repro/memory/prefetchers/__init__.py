@@ -1,0 +1,36 @@
+"""Hardware data prefetchers (baseline substrate, Table 1)."""
+
+from .base import NullPrefetcher, Prefetcher, PrefetcherStats
+from .bop import BestOffsetPrefetcher
+from .ghb import GhbPrefetcher
+from .stream import StreamPrefetcher
+from .stride import StridePrefetcher
+
+_REGISTRY = {
+    "none": NullPrefetcher,
+    "bop": BestOffsetPrefetcher,
+    "stream": StreamPrefetcher,
+    "stride": StridePrefetcher,
+    "ghb": GhbPrefetcher,
+}
+
+
+def make_prefetcher(name: str, line_bytes: int = 64) -> Prefetcher:
+    """Construct a prefetcher by registry name (``bop``, ``stream``, ...)."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown prefetcher {name!r}; known: {sorted(_REGISTRY)}") from None
+    return cls(line_bytes=line_bytes)
+
+
+__all__ = [
+    "BestOffsetPrefetcher",
+    "GhbPrefetcher",
+    "NullPrefetcher",
+    "Prefetcher",
+    "PrefetcherStats",
+    "StreamPrefetcher",
+    "StridePrefetcher",
+    "make_prefetcher",
+]

@@ -1,0 +1,51 @@
+"""Prefetcher interface.
+
+Prefetchers observe the demand access stream of the cache level they are
+attached to and return line addresses to prefetch. The paper's baseline
+enables "BOP and Stream" (Table 1); CRISP is deliberately evaluated *on top
+of* a competent regular-pattern prefetcher, because CRISP's contribution is
+exactly the irregular accesses these prefetchers cannot cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PrefetcherStats:
+    trains: int = 0
+    issued: int = 0
+
+
+class Prefetcher:
+    """Base class; concrete prefetchers override :meth:`on_access`."""
+
+    name = "null"
+
+    def __init__(self, line_bytes: int = 64):
+        self.line_bytes = line_bytes
+        self.stats = PrefetcherStats()
+
+    def line_addr(self, byte_addr: int) -> int:
+        return byte_addr - (byte_addr % self.line_bytes)
+
+    def on_access(self, pc: int, byte_addr: int, hit: bool) -> list[int]:
+        """Observe a demand access; return byte addresses to prefetch."""
+        raise NotImplementedError
+
+    def on_fill(self, byte_addr: int, prefetched: bool = False) -> None:
+        """Observe a fill completing (used by BOP's RR table).
+
+        ``prefetched`` distinguishes prefetch fills from demand-miss fills;
+        BOP inserts different base addresses for the two cases.
+        """
+
+
+class NullPrefetcher(Prefetcher):
+    """No prefetching (used to isolate CRISP's contribution in ablations)."""
+
+    name = "none"
+
+    def on_access(self, pc: int, byte_addr: int, hit: bool) -> list[int]:
+        return []

@@ -1,0 +1,124 @@
+"""Best-Offset Prefetcher (BOP), after Michaud, HPCA 2016 [76].
+
+This is the paper's primary baseline data prefetcher (Table 1). BOP learns
+a single best *line offset* D and prefetches line X+D on every demand
+access that missed (or hit a prefetched line). Learning runs in rounds: a
+recent-requests (RR) table remembers base addresses of recently completed
+fills, and each candidate offset O earns a point whenever a miss on line X
+finds X-O in the RR table -- meaning a prefetch with offset O issued at the
+time of that earlier access would have been timely.
+
+BOP covers strides and most periodic patterns but, by construction, cannot
+cover pointer chases or other irregular address sequences -- the gap CRISP
+targets.
+"""
+
+from __future__ import annotations
+
+from .base import Prefetcher
+
+
+def _default_offsets(max_offset: int = 64) -> list[int]:
+    """Offsets with prime factors in {2, 3, 5} up to ``max_offset`` (Michaud)."""
+    offsets = []
+    for value in range(1, max_offset + 1):
+        n = value
+        for p in (2, 3, 5):
+            while n % p == 0:
+                n //= p
+        if n == 1:
+            offsets.append(value)
+    return offsets
+
+
+class BestOffsetPrefetcher(Prefetcher):
+    """Best-offset prefetcher with RR-table-based round scoring."""
+
+    name = "bop"
+
+    SCORE_MAX = 31
+    ROUND_MAX = 100
+    BAD_SCORE = 1
+
+    def __init__(
+        self,
+        line_bytes: int = 64,
+        rr_entries: int = 256,
+        max_offset: int = 64,
+        degree: int = 1,
+    ):
+        super().__init__(line_bytes)
+        self.offsets = _default_offsets(max_offset)
+        self.rr_entries = rr_entries
+        self.degree = degree
+        self._rr: list[int | None] = [None] * rr_entries
+        self._scores = [0] * len(self.offsets)
+        self._test_index = 0
+        self._round = 0
+        self.best_offset = 1  # in lines; Michaud initialises D = 1
+        self.prefetch_enabled = True
+
+    # -- RR table --------------------------------------------------------------
+
+    def _rr_index(self, line_no: int) -> int:
+        return (line_no ^ (line_no >> 8)) % self.rr_entries
+
+    def _rr_insert(self, line_no: int) -> None:
+        self._rr[self._rr_index(line_no)] = line_no
+
+    def _rr_hit(self, line_no: int) -> bool:
+        return self._rr[self._rr_index(line_no)] == line_no
+
+    # -- learning --------------------------------------------------------------
+
+    def _finish_round_if_needed(self, best_score: int) -> None:
+        end_of_learning = best_score >= self.SCORE_MAX or self._round >= self.ROUND_MAX
+        if not end_of_learning:
+            return
+        winner = max(range(len(self.offsets)), key=self._scores.__getitem__)
+        winning_score = self._scores[winner]
+        if winning_score > self.BAD_SCORE:
+            self.best_offset = self.offsets[winner]
+            self.prefetch_enabled = True
+        else:
+            # No offset is working (irregular stream): turn prefetch off but
+            # keep learning, exactly as in the original design.
+            self.prefetch_enabled = False
+        self._scores = [0] * len(self.offsets)
+        self._round = 0
+        self._test_index = 0
+
+    def _train(self, line_no: int) -> None:
+        offset = self.offsets[self._test_index]
+        if self._rr_hit(line_no - offset):
+            self._scores[self._test_index] += 1
+        self._test_index += 1
+        if self._test_index >= len(self.offsets):
+            self._test_index = 0
+            self._round += 1
+        self._finish_round_if_needed(max(self._scores))
+
+    # -- interface ----------------------------------------------------------------
+
+    def on_access(self, pc: int, byte_addr: int, hit: bool) -> list[int]:
+        self.stats.trains += 1
+        line_no = byte_addr // self.line_bytes
+        if not hit:
+            self._train(line_no)
+        if not self.prefetch_enabled or hit:
+            return []
+        out = []
+        for d in range(1, self.degree + 1):
+            out.append((line_no + d * self.best_offset) * self.line_bytes)
+        self.stats.issued += len(out)
+        return out
+
+    def on_fill(self, byte_addr: int, prefetched: bool = False) -> None:
+        # Michaud records the *trigger* address at fill-completion time, so
+        # timeliness is part of the score: a demand fill of X inserts X (the
+        # demand stream saw X one memory latency ago); a prefetched fill of
+        # Y = X + D inserts Y - D = X (the access that triggered it).
+        line_no = byte_addr // self.line_bytes
+        if prefetched:
+            line_no -= self.best_offset
+        self._rr_insert(line_no)

@@ -1,0 +1,87 @@
+"""Global History Buffer (GHB) PC/DC prefetcher, after Nesbit & Smith [86].
+
+PC-localised delta correlation: a circular global history buffer holds the
+recent miss addresses; an index table links each PC to its most recent
+entry, and entries of the same PC are chained. On a miss, the last two
+deltas of the PC's own miss stream are matched against its history, and the
+deltas that followed that pattern previously are replayed as prefetches.
+Covers repeating non-constant stride patterns that defeat plain stride
+tables, but still nothing address-data-dependent.
+"""
+
+from __future__ import annotations
+
+from .base import Prefetcher
+
+
+class GhbPrefetcher(Prefetcher):
+    name = "ghb"
+
+    def __init__(
+        self,
+        line_bytes: int = 64,
+        buffer_entries: int = 256,
+        index_entries: int = 256,
+        degree: int = 4,
+    ):
+        super().__init__(line_bytes)
+        self.buffer_entries = buffer_entries
+        self.index_entries = index_entries
+        self.degree = degree
+        # GHB entries: (address, prev_pointer) ; pointers are monotonically
+        # increasing virtual positions so stale links are detectable.
+        self._ghb: list[tuple[int, int]] = []
+        self._head = 0  # next virtual position
+        self._index: dict[int, int] = {}
+
+    def _entry(self, pointer: int) -> tuple[int, int] | None:
+        """Fetch GHB entry at virtual position ``pointer`` if still resident."""
+        if pointer < 0 or pointer < self._head - self.buffer_entries or pointer >= self._head:
+            return None
+        return self._ghb[pointer % self.buffer_entries]
+
+    def _pc_history(self, pc: int, depth: int) -> list[int]:
+        """Most recent miss addresses of ``pc``, newest first."""
+        history = []
+        pointer = self._index.get(pc % self.index_entries, -1)
+        while len(history) < depth:
+            entry = self._entry(pointer)
+            if entry is None:
+                break
+            addr, prev = entry
+            history.append(addr)
+            pointer = prev
+        return history
+
+    def on_access(self, pc: int, byte_addr: int, hit: bool) -> list[int]:
+        self.stats.trains += 1
+        if hit:
+            return []
+        line = byte_addr // self.line_bytes
+        slot = pc % self.index_entries
+        prev = self._index.get(slot, -1)
+        if len(self._ghb) < self.buffer_entries:
+            self._ghb.append((line, prev))
+        else:
+            self._ghb[self._head % self.buffer_entries] = (line, prev)
+        self._index[slot] = self._head
+        self._head += 1
+
+        history = self._pc_history(pc, depth=16)
+        if len(history) < 4:
+            return []
+        # history is newest-first; deltas[i] = history[i] - history[i+1]
+        deltas = [history[i] - history[i + 1] for i in range(len(history) - 1)]
+        key = (deltas[0], deltas[1])
+        # Find the same delta pair earlier in this PC's stream.
+        for i in range(2, len(deltas) - 1):
+            if (deltas[i], deltas[i + 1]) == key:
+                out = []
+                predicted = line
+                # Replay the deltas that followed the earlier occurrence.
+                for j in range(i - 1, max(i - 1 - self.degree, -1), -1):
+                    predicted += deltas[j]
+                    out.append(predicted * self.line_bytes)
+                self.stats.issued += len(out)
+                return out
+        return []

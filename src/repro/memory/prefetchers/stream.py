@@ -1,0 +1,76 @@
+"""Stream prefetcher (sequential next-line streams, Table 1 "Stream").
+
+Detects monotonically ascending or descending line streams within aligned
+memory regions and, once a stream is confirmed, runs a configurable
+prefetch-ahead distance. This is the classic companion to a delta
+prefetcher: it covers long unit-stride scans (e.g. the vector loads of the
+Figure 2 microbenchmark) so that only the irregular loads remain for CRISP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import Prefetcher
+
+
+@dataclass
+class _Stream:
+    last_line: int
+    direction: int  # +1, -1, or 0 while undetermined
+    confidence: int
+    last_use: int
+
+
+class StreamPrefetcher(Prefetcher):
+    name = "stream"
+
+    def __init__(
+        self,
+        line_bytes: int = 64,
+        num_streams: int = 16,
+        region_bytes: int = 4096,
+        confirm: int = 2,
+        distance: int = 4,
+    ):
+        super().__init__(line_bytes)
+        self.num_streams = num_streams
+        self.region_bytes = region_bytes
+        self.confirm = confirm
+        self.distance = distance
+        self._streams: dict[int, _Stream] = {}
+        self._tick = 0
+
+    def on_access(self, pc: int, byte_addr: int, hit: bool) -> list[int]:
+        self.stats.trains += 1
+        self._tick += 1
+        line = byte_addr // self.line_bytes
+        region = byte_addr // self.region_bytes
+        stream = self._streams.get(region)
+        if stream is None:
+            if len(self._streams) >= self.num_streams:
+                # Evict the least recently used stream.
+                lru = min(self._streams, key=lambda r: self._streams[r].last_use)
+                del self._streams[lru]
+            self._streams[region] = _Stream(line, 0, 0, self._tick)
+            return []
+        stream.last_use = self._tick
+        delta = line - stream.last_line
+        if delta == 0:
+            return []
+        direction = 1 if delta > 0 else -1
+        if abs(delta) <= 2 and (stream.direction == 0 or direction == stream.direction):
+            stream.direction = direction
+            stream.confidence = min(stream.confidence + 1, self.confirm + 2)
+        else:
+            stream.direction = direction
+            stream.confidence = 0
+        stream.last_line = line
+        if stream.confidence < self.confirm:
+            return []
+        out = [
+            (line + stream.direction * d) * self.line_bytes
+            for d in range(1, self.distance + 1)
+        ]
+        self.stats.issued += len(out)
+        return out

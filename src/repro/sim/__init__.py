@@ -1,0 +1,18 @@
+"""Top-level simulation API."""
+
+from .comparison import WorkloadComparison, compare_workload, geomean
+from .simulator import MODES, SimResult, simulate
+from .trace_export import TimingRow, collect_timing, export_csv, to_csv
+
+__all__ = [
+    "MODES",
+    "SimResult",
+    "WorkloadComparison",
+    "compare_workload",
+    "geomean",
+    "simulate",
+    "TimingRow",
+    "collect_timing",
+    "export_csv",
+    "to_csv",
+]

@@ -1,0 +1,81 @@
+"""Top-level simulation entry points.
+
+``simulate`` runs one workload through one core configuration in one of the
+evaluated modes:
+
+* ``"ooo"``   -- the Table 1 baseline (oldest-ready-first scheduler),
+* ``"crisp"`` -- CRISP-annotated binary + critical-first scheduler,
+* ``"ibda-1k" / "ibda-8k" / "ibda-64k" / "ibda-inf"`` -- hardware IBDA
+  marking + critical-first scheduler (the Section 5.2 comparison points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.ibda import make_ibda
+from ..uarch.config import CoreConfig
+from ..uarch.pipeline import Pipeline
+from ..uarch.stats import SimStats
+from ..workloads.base import Workload
+
+MODES = ("ooo", "crisp", "ibda-1k", "ibda-8k", "ibda-64k", "ibda-inf")
+
+
+@dataclass
+class SimResult:
+    """One timing run."""
+
+    workload_name: str
+    mode: str
+    stats: SimStats
+    critical_pcs: frozenset[int]
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+def simulate(
+    workload: Workload,
+    mode: str = "ooo",
+    *,
+    config: CoreConfig | None = None,
+    critical_pcs: frozenset[int] = frozenset(),
+    upc_window: int = 0,
+) -> SimResult:
+    """Run ``workload`` in ``mode`` and return the result.
+
+    ``critical_pcs`` is required (and only used) in ``"crisp"`` mode: the
+    annotation produced by the FDO flow on the train input. The binary is
+    laid out with the one-byte prefix on those instructions, so i-cache
+    effects of the annotation are part of the measurement (Section 5.7).
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; known: {MODES}")
+    config = config or CoreConfig.skylake()
+    trace = workload.trace()
+    if mode == "ooo":
+        pipeline = Pipeline(
+            trace, config.with_scheduler("oldest_first"), upc_window=upc_window
+        )
+        used = frozenset()
+    elif mode == "crisp":
+        pipeline = Pipeline(
+            trace,
+            config.with_scheduler("crisp"),
+            critical_pcs=critical_pcs,
+            upc_window=upc_window,
+        )
+        used = frozenset(critical_pcs)
+    else:
+        size = mode.split("-", 1)[1]
+        pipeline = Pipeline(
+            trace,
+            config.with_scheduler("crisp"),
+            ibda=make_ibda(size),
+            upc_window=upc_window,
+        )
+        used = frozenset()
+    stats = pipeline.run()
+    return SimResult(workload.name, mode, stats, used)

@@ -1,0 +1,31 @@
+"""Microarchitecture substrate: the cycle-level out-of-order core model."""
+
+from .age_matrix import AgeMatrix, ShiftQueue
+from .config import CoreConfig
+from .functional_units import PortPools, PortStats
+from .lsq import LoadStoreQueues, LsqStats
+from .pipeline import Pipeline, SimulationError
+from .rob import ReorderBuffer
+from .scheduler import Scheduler
+from .smt import SmtPipeline, SmtStats, SmtThreadStats
+from .stats import PcBranchStats, PcLoadStats, SimStats
+
+__all__ = [
+    "AgeMatrix",
+    "CoreConfig",
+    "LoadStoreQueues",
+    "LsqStats",
+    "PcBranchStats",
+    "PcLoadStats",
+    "Pipeline",
+    "PortPools",
+    "PortStats",
+    "ReorderBuffer",
+    "Scheduler",
+    "ShiftQueue",
+    "SimStats",
+    "SmtPipeline",
+    "SmtStats",
+    "SmtThreadStats",
+    "SimulationError",
+]

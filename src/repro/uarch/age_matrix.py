@@ -1,0 +1,194 @@
+"""Bit-level age-matrix picker (Section 4.2 / Figure 6).
+
+Models the scheduler circuit the paper extends: a RAND issue queue (new
+instructions land in arbitrary free slots) whose *age matrix* recovers fetch
+order. Every occupied slot keeps an N-bit age mask whose bit ``j`` is set
+iff slot ``j`` held an older instruction when this one was enqueued. A
+ready instruction is the oldest ready one iff ``age_mask AND BID == 0``
+(``BID`` = bitvector of ready slots): no older instruction is also ready.
+
+The CRISP extension (blue gates in Figure 6) adds a ``PRIO`` vector of slots
+that are ready *and* tagged critical, the same AND/NOR reduction against
+``PRIO``, and a multiplexer that selects the oldest prioritised instruction
+when one exists and the plain oldest ready instruction otherwise.
+
+The cycle-level pipeline uses an equivalent sorted-pick scheduler for speed;
+the equivalence is established by property tests
+(``tests/uarch/test_age_matrix.py``).
+"""
+
+from __future__ import annotations
+
+
+class ShiftQueue:
+    """Self-compacting (SHIFT) issue queue, for comparison with RAND.
+
+    Section 4.2: SHIFT queues keep instructions physically ordered by fetch
+    age and compact on every removal -- perfect age ordering, but the
+    compaction network "is no longer used [in real designs] as compaction
+    is too expensive to be feasible at high clock frequencies". The model
+    exists to demonstrate pick-equivalence with the RAND + age-matrix
+    design: both select the same instruction every cycle, which is why the
+    paper can build CRISP on the cheaper age matrix.
+    """
+
+    def __init__(self, num_slots: int):
+        self.num_slots = num_slots
+        # Position 0 is the oldest; entries are [ready, critical, token].
+        self._entries: list[list] = []
+        self._next_token = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.num_slots
+
+    def insert(self, critical: bool = False) -> int:
+        """Append at the tail (youngest); returns an entry token."""
+        if self.full:
+            raise RuntimeError("insert into full issue queue")
+        token = self._next_token
+        self._next_token += 1
+        self._entries.append([False, critical, token])
+        return token
+
+    def set_ready(self, token: int) -> None:
+        for entry in self._entries:
+            if entry[2] == token:
+                entry[0] = True
+                return
+        raise RuntimeError(f"unknown token {token}")
+
+    def select(self) -> int | None:
+        """Oldest critical ready entry, else oldest ready (CRISP policy)."""
+        for entry in self._entries:
+            if entry[0] and entry[1]:
+                return entry[2]
+        for entry in self._entries:
+            if entry[0]:
+                return entry[2]
+        return None
+
+    def select_baseline(self) -> int | None:
+        for entry in self._entries:
+            if entry[0]:
+                return entry[2]
+        return None
+
+    def remove(self, token: int) -> None:
+        """Dequeue + compact (the expensive part in hardware)."""
+        for i, entry in enumerate(self._entries):
+            if entry[2] == token:
+                del self._entries[i]
+                return
+        raise RuntimeError(f"unknown token {token}")
+
+
+class AgeMatrix:
+    """Age-matrix issue queue with the CRISP priority extension."""
+
+    def __init__(self, num_slots: int, rand_seed: int = 777):
+        self.num_slots = num_slots
+        self._age_mask = [0] * num_slots  # bit j set => slot j is older
+        self._occupied = 0  # bitvector of valid slots
+        self._ready = 0  # BID vector
+        self._critical = 0  # criticality tags (per-slot bit, Section 4.3)
+        self._rng = rand_seed or 1
+
+    # -- slot management -----------------------------------------------------
+
+    def _rand(self) -> int:
+        x = self._rng
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self._rng = x
+        return x
+
+    @property
+    def occupancy(self) -> int:
+        return bin(self._occupied).count("1")
+
+    @property
+    def full(self) -> bool:
+        return self.occupancy >= self.num_slots
+
+    def free_slots(self) -> list[int]:
+        return [s for s in range(self.num_slots) if not (self._occupied >> s) & 1]
+
+    def insert(self, critical: bool = False, slot: int | None = None) -> int:
+        """Enqueue an instruction into a random free slot; returns the slot.
+
+        RAND insertion: the hardware places the instruction in any free
+        entry. Its age mask snapshots the currently occupied slots, which
+        are by construction all older.
+        """
+        free = self.free_slots()
+        if not free:
+            raise RuntimeError("insert into full issue queue")
+        if slot is None:
+            slot = free[self._rand() % len(free)]
+        elif (self._occupied >> slot) & 1:
+            raise RuntimeError(f"slot {slot} already occupied")
+        self._age_mask[slot] = self._occupied
+        self._occupied |= 1 << slot
+        self._critical &= ~(1 << slot)
+        if critical:
+            self._critical |= 1 << slot
+        return slot
+
+    def set_ready(self, slot: int) -> None:
+        """Mark a slot's source operands available (sets its BID bit)."""
+        if not (self._occupied >> slot) & 1:
+            raise RuntimeError(f"set_ready on empty slot {slot}")
+        self._ready |= 1 << slot
+
+    def remove(self, slot: int) -> None:
+        """Issue (dequeue) the instruction in ``slot``."""
+        bit = 1 << slot
+        if not self._occupied & bit:
+            raise RuntimeError(f"remove on empty slot {slot}")
+        self._occupied &= ~bit
+        self._ready &= ~bit
+        self._critical &= ~bit
+        # Clearing the departed instruction's bit from all remaining age
+        # masks (the hardware does this with a column clear).
+        for s in range(self.num_slots):
+            self._age_mask[s] &= ~bit
+
+    # -- selection -----------------------------------------------------------
+
+    def _oldest_in(self, vector: int) -> int | None:
+        """Slot whose age mask ANDed with ``vector`` reduces to zero."""
+        v = vector
+        while v:
+            low = v & -v
+            slot = low.bit_length() - 1
+            if self._age_mask[slot] & vector == 0:
+                return slot
+            v ^= low
+        return None
+
+    def select(self) -> int | None:
+        """One scheduling decision (Figure 6, with the CRISP extension).
+
+        Returns the selected slot, or None when nothing is ready. The PRIO
+        vector is the AND of ready and critical bits; if it is non-empty the
+        multiplexer picks the oldest prioritised slot, otherwise the oldest
+        ready slot.
+        """
+        prio = self._ready & self._critical
+        if prio:
+            return self._oldest_in(prio)
+        if self._ready:
+            return self._oldest_in(self._ready)
+        return None
+
+    def select_baseline(self) -> int | None:
+        """Scheduling decision of the unmodified age-matrix (no PRIO mux)."""
+        if self._ready:
+            return self._oldest_in(self._ready)
+        return None

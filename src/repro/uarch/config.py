@@ -1,0 +1,110 @@
+"""Core configuration (Table 1) and the preset cores used in the paper.
+
+``CoreConfig.skylake()`` reproduces Table 1 exactly; the remaining presets
+are the RS/ROB scaling points of the Section 5.4 sensitivity study
+(Figure 9), including the Sunny-Cove-like +50%/+100% configurations and the
+smaller 64 RS / 180 ROB point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..memory.hierarchy import HierarchyConfig
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """All microarchitectural parameters of the simulated core."""
+
+    # Widths (Table 1: "Frontend width and retirement: 6-way").
+    fetch_width: int = 6
+    rename_width: int = 6
+    issue_width: int = 6
+    retire_width: int = 6
+    # Window structures.
+    rob_entries: int = 224
+    rs_entries: int = 96
+    load_buffer: int = 64
+    store_buffer: int = 128
+    decode_queue: int = 64
+    # Functional units (Table 1: 4 ALU, 2 Load, 1 Store).
+    alu_ports: int = 4
+    load_ports: int = 2
+    store_ports: int = 1
+    # Scheduler policy: "oldest_first" (baseline) or "crisp".
+    scheduler: str = "oldest_first"
+    # Front end.
+    predictor: str = "tage"
+    btb_entries: int = 8192
+    ras_depth: int = 32
+    ftq_entries: int = 128
+    fdip_lines_per_cycle: int = 2
+    mispredict_redirect_penalty: int = 12
+    btb_miss_penalty: int = 8
+    # Memory behaviour.
+    store_forward_latency: int = 5
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    # Clock (Table 1: 3.0 GHz all-core turbo); informational only.
+    frequency_ghz: float = 3.0
+
+    # -- presets -----------------------------------------------------------------
+
+    @staticmethod
+    def skylake(**overrides) -> "CoreConfig":
+        """Table 1 configuration."""
+        return replace(CoreConfig(), **overrides)
+
+    @staticmethod
+    def small_window(**overrides) -> "CoreConfig":
+        """64-entry RS / 180-entry ROB point of Figure 9."""
+        return replace(CoreConfig(), rs_entries=64, rob_entries=180, **overrides)
+
+    @staticmethod
+    def plus50(**overrides) -> "CoreConfig":
+        """RS/ROB scaled by 1.5x (Sunny-Cove-like, Figure 9)."""
+        return replace(CoreConfig(), rs_entries=144, rob_entries=336, **overrides)
+
+    @staticmethod
+    def plus100(**overrides) -> "CoreConfig":
+        """RS/ROB scaled by 2x (Figure 9)."""
+        return replace(CoreConfig(), rs_entries=192, rob_entries=448, **overrides)
+
+    def with_scheduler(self, scheduler: str) -> "CoreConfig":
+        return replace(self, scheduler=scheduler)
+
+    def describe(self) -> str:
+        """Render the configuration as the rows of Table 1."""
+        hier = self.hierarchy
+        rows = [
+            ("CPU", "Skylake-like out-of-order core"),
+            ("All-core turbo frequency", f"{self.frequency_ghz:.1f} GHz"),
+            ("Frontend width and retirement", f"{self.fetch_width}-way"),
+            (
+                "Functional Units",
+                f"{self.alu_ports} ALU, {self.load_ports} Load, {self.store_ports} Store",
+            ),
+            ("Branch Predictor", self.predictor.upper()),
+            ("Branch Target Buffer (BTB)", f"{self.btb_entries // 1024}K entries"),
+            ("ROB", f"{self.rob_entries} entries"),
+            ("Reservation Station", f"{self.rs_entries} entries (unified)"),
+            (
+                "Baseline Scheduler",
+                f"{self.issue_width}-oldest-ready-instructions-first"
+                if self.scheduler == "oldest_first"
+                else "CRISP critical-first",
+            ),
+            ("Data Prefetcher", " and ".join(p.upper() for p in hier.prefetchers) or "none"),
+            ("Instruction Prefetcher", f"FDIP, {self.ftq_entries} FTQ entries"),
+            ("Load Buffer", f"{self.load_buffer} entries"),
+            ("Store Buffer", f"{self.store_buffer} entries"),
+            ("L1 instruction cache", f"{hier.l1i_size // 1024} KiB, {hier.l1i_assoc}-way"),
+            ("L1 data cache", f"{hier.l1d_size // 1024} KiB, {hier.l1d_assoc}-way"),
+            ("LLC unified cache", f"{hier.llc_size // 1024 // 1024} MiB, {hier.llc_assoc}-way"),
+            ("L1 D-cache latency", f"{hier.l1d_latency} cycles"),
+            ("L1 I-cache latency", f"{hier.l1i_latency} cycles"),
+            ("L3 cache latency", f"{hier.llc_latency} cycles"),
+            ("Memory", "DDR4-2400 (1 channel)"),
+        ]
+        width = max(len(name) for name, _ in rows)
+        return "\n".join(f"{name:<{width}}  {value}" for name, value in rows)

@@ -1,0 +1,41 @@
+"""Functional-unit port pools (Table 1: 4 ALU, 2 Load, 1 Store).
+
+All units are fully pipelined; a port is occupied only in the issue cycle.
+``PortPools`` hands the per-cycle port budget to the scheduler and records
+utilisation statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.opcodes import FuClass
+
+
+@dataclass
+class PortStats:
+    issued: dict[FuClass, int] = field(default_factory=dict)
+    port_limited_cycles: int = 0
+
+    def count(self, fu: FuClass, n: int = 1) -> None:
+        self.issued[fu] = self.issued.get(fu, 0) + n
+
+
+class PortPools:
+    """Per-cycle issue-port budget by functional-unit class."""
+
+    def __init__(self, alu: int = 4, load: int = 2, store: int = 1):
+        self.capacity = {FuClass.ALU: alu, FuClass.LOAD: load, FuClass.STORE: store}
+        self.stats = PortStats()
+
+    def budget(self) -> dict[FuClass, int]:
+        """Fresh per-cycle budget (a mutable copy for the scheduler)."""
+        return dict(self.capacity)
+
+    def utilization(self, cycles: int) -> dict[FuClass, float]:
+        """Average issued-per-cycle over capacity, by class."""
+        out = {}
+        for fu, cap in self.capacity.items():
+            issued = self.stats.issued.get(fu, 0)
+            out[fu] = issued / (cap * cycles) if cycles else 0.0
+        return out

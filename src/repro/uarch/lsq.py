@@ -1,0 +1,75 @@
+"""Load and store buffers (Table 1: 64-entry LB, 128-entry SB).
+
+Entries are allocated at rename/dispatch and released at retirement; a full
+buffer back-pressures rename. The store buffer additionally answers
+store-to-load forwarding queries: a load whose producing store (known
+exactly from the trace's memory-dependence link) is still buffered receives
+its value by forwarding at a short fixed latency instead of accessing the
+cache hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LsqStats:
+    load_allocs: int = 0
+    store_allocs: int = 0
+    lb_full_stalls: int = 0
+    sb_full_stalls: int = 0
+    forwards: int = 0
+
+
+class LoadStoreQueues:
+    def __init__(self, load_entries: int = 64, store_entries: int = 128):
+        self.load_entries = load_entries
+        self.store_entries = store_entries
+        self._loads: set[int] = set()
+        self._stores: set[int] = set()
+        self.stats = LsqStats()
+
+    # -- capacity ------------------------------------------------------------
+
+    def can_allocate_load(self) -> bool:
+        ok = len(self._loads) < self.load_entries
+        if not ok:
+            self.stats.lb_full_stalls += 1
+        return ok
+
+    def can_allocate_store(self) -> bool:
+        ok = len(self._stores) < self.store_entries
+        if not ok:
+            self.stats.sb_full_stalls += 1
+        return ok
+
+    def allocate_load(self, seq: int) -> None:
+        self._loads.add(seq)
+        self.stats.load_allocs += 1
+
+    def allocate_store(self, seq: int) -> None:
+        self._stores.add(seq)
+        self.stats.store_allocs += 1
+
+    def release(self, seq: int) -> None:
+        """Called at retirement for loads and stores alike."""
+        self._loads.discard(seq)
+        self._stores.discard(seq)
+
+    # -- forwarding ------------------------------------------------------------
+
+    def store_buffered(self, seq: int) -> bool:
+        """Is the store with sequence number ``seq`` still in the SB?"""
+        return seq in self._stores
+
+    def note_forward(self) -> None:
+        self.stats.forwards += 1
+
+    @property
+    def load_occupancy(self) -> int:
+        return len(self._loads)
+
+    @property
+    def store_occupancy(self) -> int:
+        return len(self._stores)

@@ -1,0 +1,53 @@
+"""Reorder buffer.
+
+Tracks in-flight instructions in program order and retires completed ones
+from the head, up to the retirement width per cycle. The head-of-ROB stall
+counter it feeds (a completed=False head) is the metric the paper uses to
+confirm CRISP's gains ("count the cycles that instructions reside at the
+head of the ROB without retiring", Section 5.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class ReorderBuffer:
+    def __init__(self, entries: int):
+        self.entries = entries
+        self._queue: deque[int] = deque()  # sequence numbers, program order
+        self._done: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.entries
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def allocate(self, seq: int) -> None:
+        if self.full:
+            raise RuntimeError("ROB allocate while full")
+        self._queue.append(seq)
+
+    def mark_done(self, seq: int) -> None:
+        self._done.add(seq)
+
+    def head(self) -> int | None:
+        return self._queue[0] if self._queue else None
+
+    def head_done(self) -> bool:
+        return bool(self._queue) and self._queue[0] in self._done
+
+    def retire(self, width: int) -> list[int]:
+        """Pop up to ``width`` completed instructions from the head."""
+        retired = []
+        while self._queue and len(retired) < width and self._queue[0] in self._done:
+            seq = self._queue.popleft()
+            self._done.discard(seq)
+            retired.append(seq)
+        return retired

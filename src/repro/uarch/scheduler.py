@@ -1,0 +1,83 @@
+"""Issue scheduler: baseline oldest-ready-first and the CRISP policy.
+
+This is the fast, behaviourally-equivalent counterpart to the bit-level
+:class:`repro.uarch.age_matrix.AgeMatrix` circuit model. Ready instructions
+are kept in per-FU-class heaps ordered by a policy key:
+
+* ``oldest_first`` (Table 1 baseline): key = sequence number, i.e. the
+  "6-oldest-ready-instructions-first" policy.
+* ``crisp``: key = (not critical, sequence number) -- among ready
+  instructions, tagged-critical ones are selected first (oldest critical
+  first), and only then older non-critical ones. This mirrors the PRIO-mux
+  extension of Figure 6 exactly, per pick.
+
+Each cycle the scheduler picks at most ``width`` instructions subject to
+per-class port budgets (the greedy per-class-peek + global-merge selection
+is optimal because the constraints are independent per-class caps).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..isa.opcodes import FuClass
+from .functional_units import PortPools
+
+
+class Scheduler:
+    """Ready-instruction pool with policy-driven selection."""
+
+    POLICIES = ("oldest_first", "crisp")
+
+    def __init__(self, policy: str, ports: PortPools, width: int = 6):
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown scheduler policy {policy!r}; known: {self.POLICIES}")
+        self.policy = policy
+        self.ports = ports
+        self.width = width
+        self._heaps: dict[FuClass, list[tuple[int, int, int]]] = {
+            FuClass.ALU: [],
+            FuClass.LOAD: [],
+            FuClass.STORE: [],
+        }
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _key(self, seq: int, critical: bool) -> int:
+        if self.policy == "crisp" and critical:
+            return 0
+        return 1
+
+    def add_ready(self, seq: int, fu: FuClass, critical: bool) -> None:
+        """An instruction's operands became available."""
+        heapq.heappush(self._heaps[fu], (self._key(seq, critical), seq, int(critical)))
+        self._size += 1
+
+    def pick(self) -> list[tuple[int, bool]]:
+        """Select up to ``width`` (seq, critical) pairs for this cycle."""
+        budget = self.ports.budget()
+        candidates: list[tuple[int, int, int, FuClass]] = []
+        staged: dict[FuClass, list[tuple[int, int, int]]] = {}
+        for fu, heap in self._heaps.items():
+            take = min(budget.get(fu, 0), len(heap))
+            pulled = [heapq.heappop(heap) for _ in range(take)]
+            staged[fu] = pulled
+            candidates.extend((k, s, c, fu) for (k, s, c) in pulled)
+        candidates.sort()
+        chosen = candidates[: self.width]
+        # Return unchosen candidates to their heaps.
+        chosen_set = {(k, s, c) for (k, s, c, _) in chosen}
+        for fu, pulled in staged.items():
+            for item in pulled:
+                if item not in chosen_set:
+                    heapq.heappush(self._heaps[fu], item)
+                else:
+                    chosen_set.remove(item)
+        self._size -= len(chosen)
+        if len(chosen) == self.width and self._size:
+            self.ports.stats.port_limited_cycles += 1
+        for _, _, _, fu in chosen:
+            self.ports.stats.count(fu)
+        return [(seq, bool(crit)) for (_, seq, crit, _) in chosen]

@@ -1,0 +1,132 @@
+"""Simulation statistics.
+
+Collects the quantities the paper reports: IPC/UPC (identical here -- the
+mini-ISA is one µop per instruction, documented in DESIGN.md), head-of-ROB
+stall cycles (the paper's confirmation metric in Section 5.2), per-PC load
+profiles (the simulated PMU/PEBS feed for CRISP's software pass), branch
+misprediction rates per PC, cache/DRAM statistics, and an optional windowed
+UPC timeline used to regenerate Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PcLoadStats:
+    """Per-static-PC load behaviour (what PEBS sampling would report)."""
+
+    execs: int = 0
+    l1_hits: int = 0
+    llc_hits: int = 0
+    llc_misses: int = 0
+    forwarded: int = 0
+    latency_sum: int = 0
+    mlp_sum: int = 0  # outstanding demand misses sampled at each LLC miss
+
+    @property
+    def llc_miss_rate(self) -> float:
+        return self.llc_misses / self.execs if self.execs else 0.0
+
+    @property
+    def amat(self) -> float:
+        """Average memory access time over this load's executions."""
+        return self.latency_sum / self.execs if self.execs else 0.0
+
+    @property
+    def avg_mlp(self) -> float:
+        return self.mlp_sum / self.llc_misses if self.llc_misses else 0.0
+
+
+@dataclass
+class PcBranchStats:
+    """Per-static-PC conditional branch behaviour."""
+
+    execs: int = 0
+    mispredicts: int = 0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.execs if self.execs else 0.0
+
+
+@dataclass
+class SimStats:
+    """Aggregate result of one timing-simulation run."""
+
+    cycles: int = 0
+    retired: int = 0
+    # Stall decomposition.
+    rob_head_stall_cycles: int = 0
+    fetch_stall_cycles: int = 0
+    icache_stall_cycles: int = 0
+    # Scheduler behaviour.
+    issued: int = 0
+    issued_critical: int = 0
+    critical_bypass_events: int = 0  # a critical inst issued over an older ready one
+    # Branch behaviour.
+    cond_branches: int = 0
+    branch_mispredicts: int = 0
+    btb_misses: int = 0
+    ras_mispredicts: int = 0
+    # Memory behaviour.
+    loads: int = 0
+    llc_load_misses: int = 0
+    store_forwards: int = 0
+    # Per-PC tables (simulated PMU).
+    load_pcs: dict[int, PcLoadStats] = field(default_factory=dict)
+    branch_pcs: dict[int, PcBranchStats] = field(default_factory=dict)
+    rob_head_stall_by_pc: dict[int, int] = field(default_factory=dict)
+    # Dynamic code footprint in bytes (sum of encoded sizes of retired insts).
+    dynamic_code_bytes: int = 0
+    # Optional UPC timeline: retired µops per window of `upc_window` cycles.
+    upc_window: int = 0
+    upc_timeline: list[int] = field(default_factory=list)
+    # Filled in by the pipeline from hierarchy/predictor objects at the end.
+    l1i_misses: int = 0
+    l1i_accesses: int = 0
+    l1d_misses: int = 0
+    l1d_accesses: int = 0
+    llc_misses: int = 0
+    llc_accesses: int = 0
+    dram_requests: int = 0
+    dram_row_hit_rate: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.retired / self.cycles if self.cycles else 0.0
+
+    #: µops per cycle; identical to IPC in this one-µop-per-inst ISA.
+    upc = ipc
+
+    @property
+    def branch_mispredict_rate(self) -> float:
+        return self.branch_mispredicts / self.cond_branches if self.cond_branches else 0.0
+
+    def l1i_mpki(self) -> float:
+        return 1000.0 * self.l1i_misses / self.retired if self.retired else 0.0
+
+    def llc_mpki(self) -> float:
+        return 1000.0 * self.llc_misses / self.retired if self.retired else 0.0
+
+    def load_stats(self, pc: int) -> PcLoadStats:
+        stats = self.load_pcs.get(pc)
+        if stats is None:
+            stats = self.load_pcs[pc] = PcLoadStats()
+        return stats
+
+    def branch_stats(self, pc: int) -> PcBranchStats:
+        stats = self.branch_pcs.get(pc)
+        if stats is None:
+            stats = self.branch_pcs[pc] = PcBranchStats()
+        return stats
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        return (
+            f"cycles={self.cycles} retired={self.retired} IPC={self.ipc:.3f} "
+            f"robHeadStall={self.rob_head_stall_cycles} "
+            f"brMiss={self.branch_mispredict_rate:.3%} "
+            f"llcMPKI={self.llc_mpki():.2f} l1iMPKI={self.l1i_mpki():.3f}"
+        )

@@ -1,0 +1,75 @@
+"""Workload substrate: the evaluated benchmark suite as synthetic analogues.
+
+Importing this package registers every workload into :data:`REGISTRY`.
+``suite_names()`` returns the full Figure 7 suite in display order.
+"""
+
+from .base import (
+    HEAP,
+    HEAP2,
+    HEAP3,
+    REGISTRY,
+    STACK,
+    TABLE,
+    Workload,
+    WorkloadRegistry,
+    scaled,
+    variant_rng,
+)
+
+# Importing these modules has the side effect of registering builders.
+from . import datacenter, divchain, hpcg, microbench, spec  # noqa: F401  (registration)
+from .divchain import build_div_chain
+from .microbench import build_pointer_chase
+
+#: Figure 7 display order: SPEC alphabetical, then xhpcg, then TailBench.
+SUITE_ORDER = [
+    "bwaves",
+    "cactus",
+    "deepsjeng",
+    "fotonik",
+    "gcc",
+    "lbm",
+    "mcf",
+    "nab",
+    "namd",
+    "omnetpp",
+    "perlbench",
+    "xz",
+    "xhpcg",
+    "moses",
+    "memcached",
+    "img_dnn",
+]
+
+
+def suite_names(include_micro: bool = False) -> list[str]:
+    """The evaluation suite in canonical display order."""
+    names = list(SUITE_ORDER)
+    if include_micro:
+        names.insert(0, "pointer_chase")
+    return names
+
+
+def get_workload(name: str, variant: str = "ref", scale: float = 1.0) -> Workload:
+    """Build a workload by name (see :func:`suite_names`)."""
+    return REGISTRY.build(name, variant=variant, scale=scale)
+
+
+__all__ = [
+    "HEAP",
+    "HEAP2",
+    "HEAP3",
+    "REGISTRY",
+    "STACK",
+    "SUITE_ORDER",
+    "TABLE",
+    "Workload",
+    "WorkloadRegistry",
+    "build_div_chain",
+    "build_pointer_chase",
+    "get_workload",
+    "scaled",
+    "suite_names",
+    "variant_rng",
+]

@@ -1,0 +1,73 @@
+"""Shared fixtures: small programs, traces, and configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import Asm, execute
+from repro.uarch import CoreConfig
+
+
+@pytest.fixture
+def tiny_loop_program():
+    """Count r1 from 0 to 20; exercises ALU + branch."""
+    a = Asm()
+    a.movi("r1", 0)
+    a.movi("r2", 20)
+    a.label("loop")
+    a.addi("r1", "r1", 1)
+    a.blt("r1", "r2", "loop")
+    a.halt()
+    return a.build()
+
+
+@pytest.fixture
+def store_load_program():
+    """Spill/reload through the stack (memory dependence)."""
+    a = Asm()
+    a.movi("sp", 0x7FFF0000)
+    a.movi("r1", 42)
+    a.store("sp", "r1", 0)
+    a.load("r2", "sp", 0)
+    a.addi("r3", "r2", 1)
+    a.halt()
+    return a.build()
+
+
+@pytest.fixture
+def tiny_trace(tiny_loop_program):
+    return execute(tiny_loop_program)
+
+
+@pytest.fixture
+def skylake():
+    return CoreConfig.skylake()
+
+
+def make_chase_workload(num_nodes: int = 64, stride: int = 256, seed: int = 3):
+    """Small pointer-chase program + memory image for pipeline tests.
+
+    Returns (program, memory, node_addresses).
+    """
+    import random
+
+    rng = random.Random(seed)
+    base = 0x1000_0000
+    slots = list(range(num_nodes))
+    rng.shuffle(slots)
+    addrs = [base + s * stride for s in slots]
+    memory = {}
+    for i, addr in enumerate(addrs):
+        memory[addr >> 3] = addrs[i + 1] if i + 1 < num_nodes else 0
+        memory[(addr + 8) >> 3] = i + 1
+    a = Asm()
+    a.movi("r1", addrs[0])
+    a.movi("r5", 0)
+    a.label("loop")
+    a.load("r2", "r1", 0)
+    a.load("r3", "r1", 8)
+    a.add("r5", "r5", "r3")
+    a.mov("r1", "r2")
+    a.bne("r1", "r0", "loop")
+    a.halt()
+    return a.build(), memory, addrs

@@ -1,0 +1,116 @@
+"""Delinquency classification (Section 3.2) against synthetic profiles."""
+
+from repro.core import DelinquencyConfig, classify
+from repro.core.profiler import ProfileReport
+from repro.uarch.stats import PcBranchStats, PcLoadStats
+
+
+def make_profile(loads, branches=None, stalls=None, total_insts=100_000):
+    total_loads = sum(s.execs for s in loads.values())
+    total_misses = sum(s.llc_misses for s in loads.values())
+    return ProfileReport(
+        workload_name="synthetic",
+        variant="train",
+        total_insts=total_insts,
+        total_cycles=total_insts,
+        total_loads=total_loads,
+        total_llc_load_misses=total_misses,
+        ipc=1.0,
+        load_fraction=total_loads / total_insts,
+        loads=loads,
+        branches=branches or {},
+        rob_head_stall_by_pc=stalls or {},
+    )
+
+
+def hot_missing_load(execs=5000, miss_rate=0.9, mlp=1.5):
+    misses = int(execs * miss_rate)
+    return PcLoadStats(
+        execs=execs,
+        llc_misses=misses,
+        latency_sum=execs * 100,
+        mlp_sum=int(misses * mlp),
+    )
+
+
+def test_classic_delinquent_load_accepted():
+    profile = make_profile({10: hot_missing_load()})
+    result = classify(profile)
+    assert result.delinquent_loads == [10]
+
+
+def test_low_miss_rate_rejected():
+    profile = make_profile(
+        {10: hot_missing_load(), 11: hot_missing_load(execs=50_000, miss_rate=0.01)}
+    )
+    result = classify(profile)
+    assert 11 not in result.delinquent_loads
+    assert "miss rate" in result.rejected[11]
+
+
+def test_miss_contribution_threshold_is_figure10_knob():
+    big = hot_missing_load(execs=10_000)
+    small = hot_missing_load(execs=100)  # ~1% of misses
+    profile = make_profile({1: big, 2: small})
+    strict = classify(profile, DelinquencyConfig().with_threshold(0.05))
+    loose = classify(profile, DelinquencyConfig().with_threshold(0.002))
+    assert 2 not in strict.delinquent_loads
+    assert 2 in loose.delinquent_loads
+    assert "contribution" in strict.rejected[2]
+
+
+def test_high_mlp_without_stall_rejected():
+    batched = hot_missing_load(mlp=8.0)
+    profile = make_profile({3: batched})
+    result = classify(profile)
+    assert 3 not in result.delinquent_loads
+    assert "MLP" in result.rejected[3]
+
+
+def test_high_mlp_with_stall_contribution_accepted():
+    """The Section 3.2 back-end-stall signal overrides a noisy MLP sample."""
+    serial = hot_missing_load(mlp=8.0)
+    profile = make_profile({3: serial}, stalls={3: 90_000, 7: 10_000})
+    result = classify(profile)
+    assert 3 in result.delinquent_loads
+
+
+def test_cold_path_load_rejected():
+    rare = hot_missing_load(execs=2)
+    hot = hot_missing_load(execs=100_000)
+    profile = make_profile({1: hot, 2: rare})
+    result = classify(profile)
+    assert 2 not in result.delinquent_loads
+    assert "exec ratio" in result.rejected[2]
+
+
+def test_never_missing_load_rejected():
+    profile = make_profile({4: PcLoadStats(execs=1000)})
+    result = classify(profile)
+    assert result.rejected[4] == "no LLC misses"
+
+
+def test_hard_branch_threshold():
+    branches = {
+        20: PcBranchStats(execs=1000, mispredicts=300),  # 30% -> hard
+        21: PcBranchStats(execs=1000, mispredicts=50),  # 5% -> fine
+        22: PcBranchStats(execs=4, mispredicts=4),  # too rare
+    }
+    profile = make_profile({10: hot_missing_load()}, branches=branches)
+    result = classify(profile)
+    assert result.hard_branches == [20]
+
+
+def test_mix_scaling_lowers_bar_for_load_dense_programs():
+    # Same load profile; load-dense program scales the exec-ratio bar down.
+    # Contribution gate is relaxed so the exec-ratio gate differentiates.
+    load = hot_missing_load(execs=30)
+    dense = make_profile({1: load, 2: hot_missing_load(execs=50_000)}, total_insts=60_000)
+    config = DelinquencyConfig(
+        exec_ratio_min=0.001, miss_contribution_min=1e-5, scale_with_mix=True
+    )
+    unscaled = DelinquencyConfig(
+        exec_ratio_min=0.001, miss_contribution_min=1e-5, scale_with_mix=False
+    )
+    assert 1 in classify(dense, config).delinquent_loads
+    assert 1 not in classify(dense, unscaled).delinquent_loads

@@ -1,0 +1,83 @@
+"""The end-to-end FDO flow (Figure 5)."""
+
+import pytest
+
+from repro.core import CrispConfig, annotate_for, run_crisp_flow
+from repro.core.fdo import _check_variant_compatibility
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def mcf_flow():
+    return run_crisp_flow("mcf", scale=0.4)
+
+
+def test_flow_produces_annotation(mcf_flow):
+    assert mcf_flow.critical_pcs
+    assert mcf_flow.classification.delinquent_loads
+    assert mcf_flow.annotation.critical_ratio <= 0.45
+
+
+def test_roots_are_tagged(mcf_flow):
+    for root in mcf_flow.classification.delinquent_loads:
+        if root not in mcf_flow.annotation.dropped_roots:
+            assert root in mcf_flow.critical_pcs
+
+
+def test_slices_match_roots(mcf_flow):
+    load_roots = {s.root_pc for s in mcf_flow.load_slices()}
+    assert load_roots == set(mcf_flow.classification.delinquent_loads)
+
+
+def test_filtered_subset_of_raw_slices(mcf_flow):
+    for s in mcf_flow.slices:
+        assert mcf_flow.filtered_pcs[s.root_pc] <= (s.pcs | {s.root_pc})
+
+
+def test_slice_includes_memory_carried_producers(mcf_flow):
+    """mcf's cursor is spilled/reloaded; the spill store must be tagged."""
+    program = get_workload("mcf", "train", scale=0.4).program
+    stores = [pc for pc in mcf_flow.critical_pcs if program[pc].is_store]
+    assert stores, "no spill store in the critical set"
+
+
+def test_flags_disable_slice_kinds():
+    no_loads = run_crisp_flow(
+        "lbm", CrispConfig(use_load_slices=False, use_branch_slices=True), scale=0.4
+    )
+    assert not no_loads.load_slices()
+    assert no_loads.branch_slices()
+    no_branches = run_crisp_flow(
+        "lbm", CrispConfig(use_load_slices=True, use_branch_slices=False), scale=0.4
+    )
+    assert not no_branches.branch_slices()
+
+
+def test_metrics_for_figures(mcf_flow):
+    assert mcf_flow.avg_load_slice_size > 0
+    assert mcf_flow.total_critical_instructions == len(mcf_flow.critical_pcs)
+
+
+def test_annotation_transfers_to_ref_variant(mcf_flow):
+    ref = get_workload("mcf", "ref", scale=0.4)
+    pcs = annotate_for(ref, mcf_flow)
+    assert pcs == mcf_flow.critical_pcs
+
+
+def test_variant_compatibility_guard():
+    train = get_workload("mcf", "train")
+    ref = get_workload("mcf", "ref")
+    _check_variant_compatibility(train, ref)  # must not raise
+    other = get_workload("lbm", "ref")
+    with pytest.raises(ValueError):
+        _check_variant_compatibility(train, other)
+
+
+def test_all_variants_are_annotation_compatible():
+    """Every workload's train/ref binaries must align by static PC."""
+    from repro.workloads import suite_names
+
+    for name in suite_names(include_micro=True):
+        train = get_workload(name, "train", scale=0.3)
+        ref = get_workload(name, "ref", scale=0.3)
+        _check_variant_compatibility(train, ref)

@@ -1,0 +1,104 @@
+"""IBDA hardware baseline: IST, DLT, iterative training, structural limits."""
+
+import pytest
+
+from repro.core import (
+    IBDA_CONFIGS,
+    DelinquentLoadTable,
+    IbdaEngine,
+    InstructionSliceTable,
+    make_ibda,
+)
+
+
+def test_ist_insert_and_membership():
+    ist = InstructionSliceTable(entries=64, assoc=4)
+    assert 0x10 not in ist
+    ist.insert(0x10)
+    assert 0x10 in ist
+
+
+def test_ist_conflict_eviction():
+    ist = InstructionSliceTable(entries=8, assoc=2)  # 4 sets
+    # PCs 0, 4, 8 map to set 0 (pc % 4).
+    ist.insert(0)
+    ist.insert(4)
+    ist.insert(8)
+    assert ist.evictions == 1
+    assert 0 not in ist  # LRU evicted
+    assert 4 in ist and 8 in ist
+
+
+def test_unbounded_ist_never_evicts():
+    ist = InstructionSliceTable(entries=None)
+    for pc in range(10_000):
+        ist.insert(pc)
+    assert ist.evictions == 0
+    assert ist.occupancy() == 10_000
+
+
+def test_dlt_space_saving_keeps_frequent():
+    dlt = DelinquentLoadTable(entries=2)
+    for _ in range(10):
+        dlt.record_miss(0xA)
+    for _ in range(10):
+        dlt.record_miss(0xB)
+    # A one-off PC cannot displace established frequent entries at once.
+    dlt.record_miss(0xC)
+    assert 0xA in dlt and 0xB in dlt
+    assert 0xC not in dlt
+    # But a persistently missing PC eventually enters.
+    for _ in range(30):
+        dlt.record_miss(0xC)
+    assert 0xC in dlt
+
+
+def test_engine_marks_after_dlt_hit():
+    e = IbdaEngine(ist_entries=64, ist_assoc=4)
+    assert not e.on_dispatch(0x5, is_load=True, producer_pcs=())
+    e.on_llc_miss(0x5)
+    assert e.on_dispatch(0x5, is_load=True, producer_pcs=())
+
+
+def test_iterative_backward_training_one_level_per_execution():
+    """The defining IBDA behaviour: slices grow one level per occurrence."""
+    e = IbdaEngine(ist_entries=64, ist_assoc=4)
+    e.on_llc_miss(0x9)
+    # Execution 1: load marked; its producer 0x8 learned.
+    assert e.on_dispatch(0x9, True, producer_pcs=(0x8,))
+    assert not e.on_dispatch(0x7, False, producer_pcs=(0x6,))  # not yet known
+    # Execution 2: 0x8 now marks, and ITS producer 0x7 is learned.
+    assert e.on_dispatch(0x8, False, producer_pcs=(0x7,))
+    # Execution 3: 0x7 marks.
+    assert e.on_dispatch(0x7, False, producer_pcs=(0x6,))
+
+
+def test_register_only_blindness():
+    """Memory producers are simply not offered to the engine: a slice that
+    crosses the stack stops growing at the reload."""
+    e = IbdaEngine(ist_entries=64, ist_assoc=4)
+    e.on_llc_miss(0x20)
+    # The reload (0x1F) produces the address via a register: learned.
+    e.on_dispatch(0x20, True, producer_pcs=(0x1F,))
+    e.on_dispatch(0x1F, False, producer_pcs=())  # reload's reg producer: sp only
+    # The spill store (0x1E) never appears as a producer -> never tagged.
+    assert not e.on_dispatch(0x1E, False, producer_pcs=(0x1D,))
+
+
+def test_make_ibda_sizes():
+    for size in IBDA_CONFIGS:
+        engine = make_ibda(size)
+        assert isinstance(engine, IbdaEngine)
+    assert make_ibda("inf").ist.unbounded
+    with pytest.raises(ValueError):
+        make_ibda("2k")
+
+
+def test_stats_collected():
+    e = make_ibda("1k")
+    e.on_llc_miss(1)
+    e.on_dispatch(1, True, (0,))
+    assert e.stats.dispatch_lookups == 1
+    assert e.stats.critical_marks == 1
+    assert e.stats.ist_insertions >= 2
+    assert e.stats.dlt_insertions == 1

@@ -1,0 +1,73 @@
+"""End-to-end demonstrations of IBDA's structural failure modes.
+
+Each test reproduces one Section 5.2 failure *mechanically* -- not by
+asserting a performance number but by inspecting what the engine learned.
+"""
+
+import pytest
+
+from repro.core import make_ibda, run_crisp_flow
+from repro.uarch import CoreConfig, Pipeline
+from repro.workloads import get_workload
+
+
+def run_with_ibda(name, size="inf", scale=0.3):
+    workload = get_workload(name, "ref", scale)
+    engine = make_ibda(size)
+    Pipeline(
+        workload.trace(), CoreConfig.skylake().with_scheduler("crisp"), ibda=engine
+    ).run()
+    return workload, engine
+
+
+def test_ibda_cannot_cross_the_stack_on_moses():
+    """moses's hop slice passes through a spill; the spill store's PC can
+    never enter the IST because stores are not register producers of the
+    reload."""
+    workload, engine = run_with_ibda("moses")
+    program = workload.program
+    learned_stores = [
+        pc for pc in range(len(program))
+        if program[pc].is_store and pc in engine.ist
+    ]
+    assert learned_stores == [], "IBDA must not learn through-memory producers"
+
+
+def test_ibda_learns_register_slices_on_nab():
+    """nab's cursor is register-carried: IBDA should learn real slice PCs."""
+    workload, engine = run_with_ibda("nab")
+    assert engine.stats.critical_marks > 0
+    assert engine.ist.occupancy() > 0
+
+
+def test_ibda_dlt_tags_the_volley_on_bwaves():
+    """bwaves's batched gathers dominate the DLT (the 'wrong delinquent
+    loads' of Section 5.2) even though CRISP's classifier rejects them."""
+    workload, engine = run_with_ibda("bwaves")
+    flow = run_crisp_flow("bwaves", scale=0.3)
+    program = workload.program
+    gather_pcs = {
+        pc for pc in range(len(program))
+        if program[pc].is_load and pc in engine.dlt
+    }
+    assert gather_pcs, "the DLT must have captured the missing gathers"
+    # CRISP tags at most the one stall-critical gather; IBDA tags many.
+    assert len(gather_pcs) > len(flow.classification.delinquent_loads)
+
+
+def test_finite_ist_capacity_pressure_on_perlbench():
+    """perlbench's hundreds of handler PCs fill the IST; at real-binary
+    footprints (>10k critical PCs, Figure 11) this becomes the capacity
+    blowout of Section 5.2. With a small IST the eviction churn is
+    directly observable."""
+    from repro.core import IbdaEngine
+
+    workload = get_workload("perlbench", "ref", 0.4)
+    small = IbdaEngine(ist_entries=64, ist_assoc=2)
+    Pipeline(
+        workload.trace(), CoreConfig.skylake().with_scheduler("crisp"), ibda=small
+    ).run()
+    assert small.stats.ist_evictions > 0, "a 64-entry IST must thrash"
+    # The 1K IST holds hundreds of slice PCs for this (miniature) binary.
+    _, engine = run_with_ibda("perlbench", size="1k", scale=0.4)
+    assert engine.ist.occupancy() > 200

@@ -1,0 +1,34 @@
+"""FDO report rendering."""
+
+import pytest
+
+from repro.core import run_crisp_flow
+from repro.core.report import annotated_listing, slice_report
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return run_crisp_flow("mcf", scale=0.3)
+
+
+def test_slice_report_contents(flow):
+    text = slice_report(flow)
+    assert "mcf" in text
+    assert "delinquent loads" in text
+    assert "critical-path filter" in text
+    assert "rejected load PCs" in text
+
+
+def test_annotated_listing_marks_critical(flow):
+    program = get_workload("mcf", "train", scale=0.3).program
+    text = annotated_listing(program, flow)
+    assert "[C]" in text
+    assert "<-- delinquent load" in text
+    assert "..." in text  # untagged stretches elided
+
+
+def test_listing_marker_count_matches_annotation(flow):
+    program = get_workload("mcf", "train", scale=0.3).program
+    text = annotated_listing(program, flow)
+    assert text.count("[C]") == len(flow.critical_pcs)

@@ -1,0 +1,76 @@
+"""Binary rewriter: annotation, footprint accounting, ratio guardrail."""
+
+import pytest
+
+from repro.core import Rewriter
+from repro.isa import Asm
+
+
+def hot_cold_program():
+    """pcs 0-4 hot (run 100x each), 5-9 cold (run once)."""
+    a = Asm()
+    for _ in range(10):
+        a.addi("r1", "r1", 1)
+    a.halt()
+    program = a.build()
+    exec_counts = {pc: (100 if pc < 5 else 1) for pc in range(10)}
+    exec_counts[10] = 1  # halt
+    return program, exec_counts
+
+
+def test_annotation_footprints():
+    program, counts = hot_cold_program()
+    rw = Rewriter(program, counts)
+    ann = rw.annotate({0: {0, 1}}, {0: 1.0})
+    assert ann.critical_pcs == frozenset({0, 1})
+    assert ann.static_bytes == ann.baseline_static_bytes + 2
+    assert ann.static_overhead > 0
+    assert ann.dynamic_overhead > 0
+    # Hot instructions tagged -> dynamic overhead exceeds static overhead.
+    assert ann.dynamic_overhead > ann.static_overhead
+
+
+def test_dynamic_overhead_weighted_by_execution():
+    program, counts = hot_cold_program()
+    rw = Rewriter(program, counts)
+    hot = rw.annotate({0: {0}}, {0: 1.0})
+    cold = rw.annotate({5: {5}}, {5: 1.0})
+    assert hot.dynamic_overhead > cold.dynamic_overhead
+    assert hot.static_overhead == pytest.approx(cold.static_overhead)
+
+
+def test_critical_ratio():
+    program, counts = hot_cold_program()
+    rw = Rewriter(program, counts)
+    ann = rw.annotate({0: {0, 1, 2}}, {0: 1.0})
+    total = sum(counts.values())
+    assert ann.critical_ratio == pytest.approx(300 / total)
+
+
+def test_guardrail_drops_least_important_slices():
+    program, counts = hot_cold_program()
+    rw = Rewriter(program, counts, max_critical_ratio=0.30)
+    # Two slices, each ~40% of dynamic instructions; combined ~80%.
+    slices = {0: {0, 1}, 2: {2, 3}}
+    importance = {0: 0.9, 2: 0.1}
+    ann = rw.annotate(slices, importance)
+    assert ann.dropped_roots == [2], "least-important slice dropped first"
+    assert ann.critical_pcs == frozenset({0, 1})
+    assert ann.critical_ratio <= 0.5
+
+
+def test_guardrail_keeps_last_slice_even_if_over():
+    program, counts = hot_cold_program()
+    rw = Rewriter(program, counts, max_critical_ratio=0.05)
+    ann = rw.annotate({0: {0, 1, 2, 3}}, {0: 1.0})
+    # A single slice is never dropped to zero.
+    assert ann.critical_pcs
+    assert not ann.dropped_roots
+
+
+def test_empty_annotation():
+    program, counts = hot_cold_program()
+    ann = Rewriter(program, counts).annotate({}, {})
+    assert ann.critical_pcs == frozenset()
+    assert ann.static_overhead == 0.0
+    assert ann.critical_ratio == 0.0

@@ -1,0 +1,72 @@
+"""Property-based rewriter invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Rewriter
+from repro.isa import Asm
+
+
+def make_program(n):
+    a = Asm()
+    for i in range(n):
+        a.addi(f"r{1 + (i % 8)}", f"r{1 + (i % 8)}", 1)
+    a.halt()
+    return a.build()
+
+
+@given(
+    n=st.integers(4, 40),
+    slices=st.dictionaries(
+        st.integers(0, 39),
+        st.sets(st.integers(0, 39), min_size=1, max_size=10),
+        min_size=0,
+        max_size=6,
+    ),
+    counts_seed=st.integers(0, 1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_annotation_invariants(n, slices, counts_seed):
+    import random
+
+    program = make_program(n)
+    valid_slices = {
+        root % n: {pc % n for pc in pcs} for root, pcs in slices.items()
+    }
+    rng = random.Random(counts_seed)
+    exec_counts = {pc: rng.randrange(1, 1000) for pc in range(n + 1)}
+    rewriter = Rewriter(program, exec_counts, max_critical_ratio=0.40)
+    importance = {root: rng.random() for root in valid_slices}
+    ann = rewriter.annotate(valid_slices, importance)
+
+    # 1. Tagged PCs are exactly the union of the kept slices.
+    kept = {r: pcs for r, pcs in valid_slices.items() if r not in ann.dropped_roots}
+    expected = set().union(*kept.values()) if kept else set()
+    assert ann.critical_pcs == frozenset(expected)
+
+    # 2. Layout grows by exactly one byte per tagged PC.
+    assert ann.static_bytes == ann.baseline_static_bytes + len(ann.critical_pcs)
+
+    # 3. The guardrail holds whenever more than one slice existed.
+    if len(valid_slices) > 1 and ann.dropped_roots:
+        assert ann.critical_ratio <= 0.40 + 1e-9 or len(kept) == 1
+
+    # 4. Dropped roots are a subset of the input roots, least important first.
+    assert set(ann.dropped_roots) <= set(valid_slices)
+    if len(ann.dropped_roots) >= 2:
+        imps = [importance[r] for r in ann.dropped_roots]
+        assert imps == sorted(imps)
+
+    # 5. Overheads are non-negative and bounded by tag count.
+    assert 0.0 <= ann.static_overhead
+    assert 0.0 <= ann.dynamic_overhead
+
+
+@given(tag=st.sets(st.integers(0, 19), max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_layout_address_monotonicity(tag):
+    program = make_program(20)
+    layout = program.layout(frozenset(tag))
+    addresses = layout.addresses
+    assert list(addresses) == sorted(addresses)
+    for i in range(1, len(program)):
+        assert addresses[i] - addresses[i - 1] == layout.sizes[i - 1]

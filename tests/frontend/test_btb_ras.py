@@ -1,0 +1,58 @@
+"""BTB and return-address stack."""
+
+from repro.frontend import Btb, ReturnAddressStack
+
+
+def test_btb_miss_then_hit():
+    b = Btb(entries=64, assoc=4)
+    assert b.lookup(0x1000) is None
+    b.update(0x1000, 0x2000)
+    assert b.lookup(0x1000) == 0x2000
+
+
+def test_btb_target_update():
+    b = Btb(entries=64, assoc=4)
+    b.update(0x1000, 0x2000)
+    b.update(0x1000, 0x3000)
+    assert b.lookup(0x1000) == 0x3000
+
+
+def test_btb_lru_within_set():
+    b = Btb(entries=8, assoc=2)  # 4 sets
+    # Three branches mapping to set 0 (pc % 4 == 0).
+    b.update(0, 100)
+    b.update(4, 200)
+    b.lookup(0)  # refresh
+    b.update(8, 300)  # evicts pc=4
+    assert b.lookup(0) == 100
+    assert b.lookup(4) is None
+    assert b.lookup(8) == 300
+
+
+def test_btb_hit_rate_stat():
+    b = Btb(entries=64, assoc=4)
+    b.lookup(0x1)
+    b.update(0x1, 0x2)
+    b.lookup(0x1)
+    assert b.stats.lookups == 2
+    assert b.stats.hits == 1
+
+
+def test_ras_lifo():
+    r = ReturnAddressStack(depth=8)
+    r.push(0x100)
+    r.push(0x200)
+    assert r.pop() == 0x200
+    assert r.pop() == 0x100
+    assert r.pop() is None
+    assert r.stats.underflows == 1
+
+
+def test_ras_overflow_drops_oldest():
+    r = ReturnAddressStack(depth=2)
+    r.push(1)
+    r.push(2)
+    r.push(3)
+    assert r.pop() == 3
+    assert r.pop() == 2
+    assert r.pop() is None  # 1 was dropped on overflow

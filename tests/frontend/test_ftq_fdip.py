@@ -1,0 +1,56 @@
+"""Fetch target queue and FDIP."""
+
+from repro.frontend import Fdip, FetchTargetQueue
+from repro.memory import HierarchyConfig, MemoryHierarchy
+
+
+def test_ftq_fifo_order():
+    q = FetchTargetQueue(entries=4)
+    for line in (0, 64, 128):
+        assert q.push(line)
+    assert q.pop() == 0
+    assert q.pop() == 64
+    assert q.pop() == 128
+    assert q.pop() is None
+
+
+def test_ftq_capacity():
+    q = FetchTargetQueue(entries=2)
+    assert q.push(0)
+    assert q.push(64)
+    assert q.full
+    assert not q.push(128)
+
+
+def test_ftq_coalesces_consecutive_duplicates():
+    q = FetchTargetQueue(entries=4)
+    q.push(0)
+    assert q.push(0)  # coalesced, reports success
+    assert len(q) == 1
+    q.push(64)
+    q.push(0)  # not consecutive anymore
+    assert len(q) == 3
+
+
+def test_ftq_flush():
+    q = FetchTargetQueue()
+    q.push(0)
+    q.flush()
+    assert len(q) == 0
+
+
+def test_fdip_prefetches_queued_lines():
+    hierarchy = MemoryHierarchy(HierarchyConfig(prefetchers=()))
+    q = FetchTargetQueue()
+    fdip = Fdip(hierarchy, q, lines_per_cycle=2)
+    lines = [0x400000 + i * 64 for i in range(4)]
+    for line in lines:
+        q.push(line)
+    fdip.tick(now=0)
+    assert len(q) == 2  # two lines consumed
+    fdip.tick(now=1)
+    assert len(q) == 0
+    assert fdip.stats.prefetches == 4
+    # Much later, all lines hit in the L1I.
+    for line in lines:
+        assert hierarchy.inst_fetch(line, 10_000) == 10_000

@@ -1,0 +1,65 @@
+"""Bimodal, gshare, static and perfect predictors."""
+
+import pytest
+
+from repro.frontend import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    GsharePredictor,
+    PerfectPredictor,
+    TagePredictor,
+    make_predictor,
+)
+
+
+def test_bimodal_learns_bias():
+    p = BimodalPredictor()
+    for _ in range(10):
+        p.update(0x10, True)
+    assert p.predict(0x10) is True
+    for _ in range(10):
+        p.update(0x10, False)
+    assert p.predict(0x10) is False
+
+
+def test_bimodal_hysteresis():
+    p = BimodalPredictor()
+    for _ in range(10):
+        p.update(0x10, True)
+    p.update(0x10, False)  # single anomaly
+    assert p.predict(0x10) is True  # 2-bit counter absorbs it
+
+
+def test_gshare_learns_alternation():
+    p = GsharePredictor()
+    correct = 0
+    for i in range(400):
+        taken = i % 2 == 0
+        pred = p.predict(0x30, taken)
+        p.update(0x30, taken)
+        if i >= 200:
+            correct += pred == taken
+    assert correct / 200 > 0.9
+
+
+def test_always_taken():
+    p = AlwaysTakenPredictor()
+    assert p.predict(0x1, actual=False) is True
+    assert p.stats.mispredictions == 1
+
+
+def test_perfect_predictor_is_perfect():
+    p = PerfectPredictor()
+    assert p.predict(0x1, actual=True) is True
+    assert p.predict(0x1, actual=False) is False
+    with pytest.raises(ValueError):
+        p.predict(0x1)
+
+
+def test_make_predictor_registry():
+    assert isinstance(make_predictor("tage"), TagePredictor)
+    assert isinstance(make_predictor("bimodal"), BimodalPredictor)
+    assert isinstance(make_predictor("gshare"), GsharePredictor)
+    assert isinstance(make_predictor("perfect"), PerfectPredictor)
+    with pytest.raises(ValueError):
+        make_predictor("neural")

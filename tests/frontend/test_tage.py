@@ -1,0 +1,107 @@
+"""TAGE predictor: learning behaviour on canonical patterns."""
+
+import random
+
+from repro.frontend import TagePredictor
+
+
+def run_pattern(predictor, outcomes, pc=0x4400):
+    """Feed a direction sequence; return accuracy over the second half."""
+    correct = 0
+    half = len(outcomes) // 2
+    for i, taken in enumerate(outcomes):
+        pred = predictor.predict(pc, taken)
+        predictor.update(pc, taken)
+        if i >= half and pred == taken:
+            correct += 1
+    return correct / (len(outcomes) - half)
+
+
+def test_always_taken_learned():
+    assert run_pattern(TagePredictor(), [True] * 200) > 0.98
+
+
+def test_always_not_taken_learned():
+    assert run_pattern(TagePredictor(), [False] * 200) > 0.98
+
+
+def test_short_period_pattern_learned():
+    pattern = ([True] * 3 + [False]) * 100  # loop exit every 4th
+    assert run_pattern(TagePredictor(), pattern) > 0.90
+
+
+def test_long_period_pattern_learned():
+    # Period-12 pattern: needs history, impossible for bimodal.
+    base = [True, True, False, True, False, False, True, True, True, False, True, False]
+    pattern = base * 60
+    assert run_pattern(TagePredictor(), pattern) > 0.85
+
+
+def test_random_pattern_near_chance():
+    rng = random.Random(0)
+    pattern = [rng.random() < 0.5 for _ in range(2000)]
+    accuracy = run_pattern(TagePredictor(), pattern)
+    assert 0.3 < accuracy < 0.7
+
+
+def test_biased_random_tracks_bias():
+    rng = random.Random(1)
+    pattern = [rng.random() < 0.9 for _ in range(2000)]
+    assert run_pattern(TagePredictor(), pattern) > 0.80
+
+
+def test_multiple_branches_do_not_interfere():
+    t = TagePredictor()
+    acc_a = acc_b = 0
+    n = 400
+    for i in range(n):
+        for pc, taken in ((0x100, True), (0x200, i % 2 == 0)):
+            pred = t.predict(pc, taken)
+            t.update(pc, taken)
+            if i >= n // 2:
+                if pc == 0x100:
+                    acc_a += pred == taken
+                else:
+                    acc_b += pred == taken
+    assert acc_a / (n // 2) > 0.95
+    assert acc_b / (n // 2) > 0.85
+
+
+def test_correlated_branches_use_global_history():
+    # Branch B follows branch A's direction; only global history can see it.
+    t = TagePredictor()
+    rng = random.Random(2)
+    correct = 0
+    n = 1500
+    for i in range(n):
+        a_taken = rng.random() < 0.5
+        t.predict(0x10, a_taken)
+        t.update(0x10, a_taken)
+        pred_b = t.predict(0x20, a_taken)
+        t.update(0x20, a_taken)
+        if i >= n // 2:
+            correct += pred_b == a_taken
+    assert correct / (n // 2) > 0.85
+
+
+def test_stats_track_mispredictions():
+    t = TagePredictor()
+    for _ in range(50):
+        t.predict(0x1, True)
+        t.update(0x1, True)
+    assert t.stats.predictions == 50
+    assert t.stats.mispredict_rate < 0.2
+
+
+def test_geometric_history_lengths_increase():
+    t = TagePredictor()
+    lengths = t.history_lengths
+    assert lengths == sorted(lengths)
+    assert lengths[-1] > lengths[0]
+
+
+def test_note_branch_advances_history_without_update():
+    t = TagePredictor()
+    before = t._ghist
+    t.note_branch(True)
+    assert t._ghist != before

@@ -1,0 +1,70 @@
+"""TAGE internals: folded-history registers and allocation behaviour."""
+
+from repro.frontend.tage import TagePredictor, _FoldedHistory
+
+
+def test_folded_history_stays_within_bits():
+    fold = _FoldedHistory(length=37, bits=10)
+    import random
+
+    rng = random.Random(0)
+    history = []
+    for _ in range(500):
+        bit = rng.randrange(2)
+        history.append(bit)
+        outgoing = history[-38] if len(history) >= 38 else 0
+        fold.update(bit, outgoing)
+        assert 0 <= fold.value < (1 << 10)
+
+
+def test_folded_history_depends_only_on_window():
+    """Two different prefixes with the same trailing window converge."""
+    length, bits = 13, 6
+
+    def fold_of(stream):
+        fold = _FoldedHistory(length, bits)
+        history = []
+        for bit in stream:
+            history.append(bit)
+            outgoing = history[-(length + 1)] if len(history) > length else 0
+            fold.update(bit, outgoing)
+        return fold.value
+
+    window = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 1]
+    a = fold_of([0] * 40 + window)
+    b = fold_of([1, 0] * 20 + window)
+    assert a == b
+
+
+def test_allocation_happens_on_mispredict():
+    t = TagePredictor()
+    before = t.stats.allocations
+    # Period-2 pattern defeats the bimodal base -> mispredicts -> allocations.
+    for i in range(200):
+        taken = i % 2 == 0
+        t.predict(0x50, taken)
+        t.update(0x50, taken)
+    assert t.stats.allocations > before
+
+
+def test_update_without_predict_is_safe():
+    t = TagePredictor()
+    t.update(0x99, True)  # internally performs the predict
+    assert t.stats.predictions == 1
+
+
+def test_deterministic_across_instances():
+    import random
+
+    rng = random.Random(7)
+    pattern = [(rng.randrange(1 << 14), rng.random() < 0.6) for _ in range(800)]
+
+    def run():
+        t = TagePredictor()
+        outcomes = []
+        for pc, taken in pattern:
+            outcomes.append(t.predict(pc, taken))
+            t.update(pc, taken)
+        return outcomes
+
+    assert run() == run()

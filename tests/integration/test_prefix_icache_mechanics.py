@@ -1,0 +1,50 @@
+"""The one-byte prefix's i-cache mechanics (Figure 12's cause)."""
+
+from repro.isa import Asm, execute
+from repro.uarch import CoreConfig, Pipeline
+
+
+def _program(n=600):
+    a = Asm()
+    a.movi("r9", 0)
+    a.movi("r10", 4)
+    a.label("outer")
+    for i in range(n):
+        a.addi(f"r{1 + (i % 8)}", f"r{1 + (i % 8)}", 1)
+    a.addi("r9", "r9", 1)
+    a.blt("r9", "r10", "outer")
+    a.halt()
+    return a.build()
+
+
+def test_prefix_shifts_line_boundaries():
+    program = _program(64)
+    base = program.layout()
+    tagged = program.layout(frozenset(range(0, 64, 2)))
+    base_lines = {base.addresses[i] // 64 for i in range(len(program))}
+    tagged_lines = {tagged.addresses[i] // 64 for i in range(len(program))}
+    # More bytes -> at least as many distinct lines.
+    assert max(tagged_lines) >= max(base_lines)
+
+
+def test_dynamic_code_bytes_grow_with_annotation():
+    program = _program(200)
+    trace = execute(program)
+    plain = Pipeline(trace, CoreConfig.skylake()).run()
+    tagged = Pipeline(
+        trace, CoreConfig.skylake(), critical_pcs=frozenset(range(0, 200, 3))
+    ).run()
+    assert tagged.dynamic_code_bytes > plain.dynamic_code_bytes
+
+
+def test_icache_accesses_grow_when_code_grows():
+    """Tagging half of a loop body larger than a few lines must increase
+    fetched lines (the Section 5.7 pressure), while timing stays close."""
+    program = _program(600)
+    trace = execute(program)
+    plain = Pipeline(trace, CoreConfig.skylake()).run()
+    tagged = Pipeline(
+        trace, CoreConfig.skylake(), critical_pcs=frozenset(range(0, 600, 2))
+    ).run()
+    assert tagged.l1i_accesses >= plain.l1i_accesses
+    assert tagged.cycles <= 1.2 * plain.cycles

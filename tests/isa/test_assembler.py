@@ -1,0 +1,86 @@
+"""Assembler DSL: label resolution, validation, emission."""
+
+import pytest
+
+from repro.isa import Asm, Opcode, ProgramError
+
+
+def test_forward_and_backward_labels():
+    a = Asm()
+    a.jmp("end")
+    a.label("mid")
+    a.addi("r1", "r1", 1)
+    a.label("end")
+    a.beq("r1", "r0", "mid")
+    a.halt()
+    p = a.build()
+    assert p[0].target == p.labels["end"]
+    assert p[2].target == p.labels["mid"]
+
+
+def test_duplicate_label_rejected():
+    a = Asm()
+    a.label("x")
+    with pytest.raises(ProgramError, match="duplicate"):
+        a.label("x")
+
+
+def test_undefined_label_rejected():
+    a = Asm()
+    a.jmp("nowhere")
+    a.halt()
+    with pytest.raises(ProgramError, match="undefined"):
+        a.build()
+
+
+def test_missing_halt_rejected():
+    a = Asm()
+    a.movi("r1", 1)
+    with pytest.raises(ProgramError, match="HALT"):
+        a.build()
+
+
+def test_empty_program_rejected():
+    with pytest.raises(ProgramError):
+        Asm().build()
+
+
+def test_store_value_register_in_dst():
+    a = Asm()
+    a.store("r1", "r2", 8)
+    a.halt()
+    p = a.build()
+    store = p[0]
+    assert store.opcode is Opcode.STORE
+    assert store.src1 == 1  # base
+    assert store.dst == 2  # value operand
+    assert 2 in store.src_regs()
+    assert store.dst_reg() is None  # stores write no register
+
+
+def test_here_tracks_position():
+    a = Asm()
+    assert a.here() == 0
+    a.movi("r1", 1)
+    assert a.here() == 1
+    a.nop()
+    assert a.here() == 2
+
+
+def test_chaining_returns_self():
+    a = Asm()
+    result = a.movi("r1", 1).addi("r1", "r1", 1).halt()
+    assert result is a
+    assert len(a.build()) == 3
+
+
+def test_indexed_memory_operands():
+    a = Asm()
+    a.load_idx("r3", "r1", "r2", 16)
+    a.store_idx("r1", "r2", "r4", 8)
+    a.halt()
+    p = a.build()
+    ld, st = p[0], p[1]
+    assert ld.src1 == 1 and ld.src2 == 2 and ld.imm == 16
+    assert st.src1 == 1 and st.src2 == 2 and st.dst == 4
+    assert set(st.src_regs()) == {1, 2, 4}

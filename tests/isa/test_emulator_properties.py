@@ -1,0 +1,121 @@
+"""Property-based tests of emulator semantics against a Python oracle."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Asm, execute
+from repro.isa.opcodes import ALU_FUNCTIONS, Opcode
+
+_REG_OPS = [
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+]
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(_REG_OPS),
+            st.integers(1, 7),  # dst
+            st.integers(1, 7),  # src1
+            st.integers(1, 7),  # src2
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    init=st.lists(st.integers(-1000, 1000), min_size=7, max_size=7),
+)
+@settings(max_examples=60, deadline=None)
+def test_straightline_alu_matches_oracle(ops, init):
+    """Random straight-line ALU code == direct Python evaluation."""
+    a = Asm()
+    emit = {
+        Opcode.ADD: a.add,
+        Opcode.SUB: a.sub,
+        Opcode.MUL: a.mul,
+        Opcode.AND: a.and_,
+        Opcode.OR: a.or_,
+        Opcode.XOR: a.xor,
+    }
+    for op, dst, s1, s2 in ops:
+        emit[op](f"r{dst}", f"r{s1}", f"r{s2}")
+    a.halt()
+    regs = {i + 1: v for i, v in enumerate(init)}
+    trace = execute(a.build(), regs=regs)
+
+    oracle = [0] * 32
+    for i, v in enumerate(init):
+        oracle[i + 1] = v
+    for op, dst, s1, s2 in ops:
+        oracle[dst] = ALU_FUNCTIONS[op](oracle[s1], oracle[s2])
+    assert trace.final_regs == oracle
+
+
+@given(
+    values=st.lists(st.integers(0, 2**32), min_size=1, max_size=20),
+)
+@settings(max_examples=40, deadline=None)
+def test_store_load_roundtrip(values):
+    """Every stored value is loaded back; memory deps link store->load."""
+    a = Asm()
+    a.movi("r1", 0x8000)
+    for i, _ in enumerate(values):
+        a.movi("r2", 0)  # placeholder; real value injected via regs? No:
+    # Rebuild cleanly: emit store/load pairs with immediates.
+    a = Asm()
+    a.movi("r1", 0x8000)
+    for i, v in enumerate(values):
+        a.movi("r2", v)
+        a.store("r1", "r2", 8 * i)
+    for i, _ in enumerate(values):
+        a.load(f"r{3 + (i % 20)}", "r1", 8 * i)
+    a.halt()
+    trace = execute(a.build())
+    loads = [d for d in trace if d.sinst.is_load]
+    stores = [d for d in trace if d.sinst.is_store]
+    assert len(loads) == len(stores) == len(values)
+    for i, load in enumerate(loads):
+        assert load.mem_src == stores[i].seq
+
+
+@given(n=st.integers(1, 200))
+@settings(max_examples=30, deadline=None)
+def test_loop_trip_count(n):
+    """Dynamic instruction count is exactly linear in the trip count."""
+    a = Asm()
+    a.movi("r1", 0)
+    a.movi("r2", n)
+    a.label("loop")
+    a.addi("r1", "r1", 1)
+    a.blt("r1", "r2", "loop")
+    a.halt()
+    trace = execute(a.build())
+    assert trace.final_regs[1] == n
+    assert len(trace) == 2 + 2 * n + 1
+
+
+@given(seq=st.lists(st.booleans(), min_size=1, max_size=50))
+@settings(max_examples=40, deadline=None)
+def test_branch_taken_matches_data(seq):
+    """Branch outcomes follow the data exactly."""
+    a = Asm()
+    a.movi("r1", 0x9000)
+    a.movi("r2", 0)  # index
+    a.movi("r3", len(seq))
+    a.movi("r6", 0)  # taken counter
+    a.label("loop")
+    a.load_idx("r4", "r1", "r5", 0)
+    a.beq("r4", "r0", "skip")
+    a.addi("r6", "r6", 1)
+    a.label("skip")
+    a.addi("r2", "r2", 1)
+    a.addi("r5", "r5", 8)
+    a.blt("r2", "r3", "loop")
+    a.halt()
+    # Flag 1 -> the beq falls through and the counter increments.
+    memory = {(0x9000 + 8 * i) >> 3: (1 if flag else 0) for i, flag in enumerate(seq)}
+    trace = execute(a.build(), memory=memory)
+    assert trace.final_regs[6] == sum(seq)

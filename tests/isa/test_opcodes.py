@@ -1,0 +1,80 @@
+"""Opcode metadata invariants."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    ALU_FUNCTIONS,
+    BRANCH_CONDITIONS,
+    IMMEDIATE_ALU_OPS,
+    OP_INFO,
+    FuClass,
+    Opcode,
+    info,
+)
+
+
+def test_every_opcode_has_metadata():
+    for op in Opcode:
+        assert op in OP_INFO, f"missing OpInfo for {op}"
+
+
+def test_metadata_sanity():
+    for op, meta in OP_INFO.items():
+        assert meta.latency >= 1, op
+        assert meta.size >= 1, op
+        assert not (meta.reads_mem and meta.writes_mem), op
+
+
+def test_loads_use_load_ports():
+    assert info(Opcode.LOAD).fu is FuClass.LOAD
+    assert info(Opcode.LOAD_IDX).fu is FuClass.LOAD
+    assert info(Opcode.PREFETCH).fu is FuClass.LOAD
+
+
+def test_stores_use_store_port_and_write_no_register():
+    for op in (Opcode.STORE, Opcode.STORE_IDX):
+        assert info(op).fu is FuClass.STORE
+        assert not info(op).writes_reg
+
+
+def test_branches_are_marked():
+    for op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLE, Opcode.BGT):
+        assert info(op).is_branch and info(op).is_cond
+    for op in (Opcode.JMP, Opcode.CALL, Opcode.RET):
+        assert info(op).is_branch and not info(op).is_cond
+
+
+def test_division_is_long_latency():
+    assert info(Opcode.DIV).latency > 10
+    assert info(Opcode.FDIV).latency > 10
+    assert info(Opcode.ADD).latency == 1
+
+
+def test_branch_condition_semantics():
+    assert BRANCH_CONDITIONS[Opcode.BEQ](3, 3)
+    assert not BRANCH_CONDITIONS[Opcode.BEQ](3, 4)
+    assert BRANCH_CONDITIONS[Opcode.BNE](3, 4)
+    assert BRANCH_CONDITIONS[Opcode.BLT](2, 3)
+    assert BRANCH_CONDITIONS[Opcode.BGE](3, 3)
+    assert BRANCH_CONDITIONS[Opcode.BLE](3, 3)
+    assert BRANCH_CONDITIONS[Opcode.BGT](4, 3)
+
+
+def test_alu_semantics():
+    assert ALU_FUNCTIONS[Opcode.ADD](2, 3) == 5
+    assert ALU_FUNCTIONS[Opcode.SUB](2, 3) == -1
+    assert ALU_FUNCTIONS[Opcode.MUL](4, 5) == 20
+    assert ALU_FUNCTIONS[Opcode.DIV](7, 2) == 3
+    assert ALU_FUNCTIONS[Opcode.DIV](7, 0) == 0  # defined: no trap modelled
+    assert ALU_FUNCTIONS[Opcode.SHL](1, 4) == 16
+    assert ALU_FUNCTIONS[Opcode.SHR](16, 4) == 1
+    assert ALU_FUNCTIONS[Opcode.XOR](0b1100, 0b1010) == 0b0110
+
+
+def test_immediate_ops_subset_of_alu_functions():
+    assert IMMEDIATE_ALU_OPS < set(ALU_FUNCTIONS)
+
+
+def test_fp_class_ops_have_higher_latency():
+    assert info(Opcode.FADD).latency > info(Opcode.ADD).latency
+    assert info(Opcode.FMUL).latency >= info(Opcode.MUL).latency

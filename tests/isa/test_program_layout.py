@@ -1,0 +1,83 @@
+"""Byte-level code layout and the one-byte critical prefix."""
+
+from repro.isa import Asm, CODE_BASE, CRITICAL_PREFIX_BYTES
+from repro.isa.program import Program, ProgramError
+from repro.isa.instruction import StaticInst
+from repro.isa.opcodes import Opcode
+
+import pytest
+
+
+def _program(n_alu=5):
+    a = Asm()
+    for i in range(n_alu):
+        a.addi("r1", "r1", i)
+    a.halt()
+    return a.build()
+
+
+def test_layout_is_contiguous_from_code_base():
+    p = _program()
+    layout = p.layout()
+    assert layout.addresses[0] == CODE_BASE
+    for i in range(1, len(p)):
+        assert layout.addresses[i] == layout.addresses[i - 1] + layout.sizes[i - 1]
+    assert layout.total_bytes == sum(layout.sizes)
+
+
+def test_prefix_adds_one_byte_per_tagged_instruction():
+    p = _program()
+    base = p.layout()
+    annotated = p.layout({0, 2})
+    assert annotated.total_bytes == base.total_bytes + 2 * CRITICAL_PREFIX_BYTES
+    assert annotated.sizes[0] == base.sizes[0] + CRITICAL_PREFIX_BYTES
+    assert annotated.sizes[1] == base.sizes[1]
+
+
+def test_prefix_shifts_subsequent_addresses():
+    p = _program()
+    base = p.layout()
+    annotated = p.layout({0})
+    assert annotated.addresses[0] == base.addresses[0]
+    for i in range(1, len(p)):
+        assert annotated.addresses[i] == base.addresses[i] + CRITICAL_PREFIX_BYTES
+
+
+def test_lines_touched_spans_boundary():
+    p = _program(20)
+    layout = p.layout()
+    # Find an instruction crossing a 64-byte boundary, if any; all lines
+    # returned must cover the instruction's bytes.
+    for i in range(len(p)):
+        lines = layout.lines_touched(i)
+        start = layout.addresses[i]
+        end = start + layout.sizes[i] - 1
+        assert lines[0] <= start
+        assert lines[-1] + 63 >= end
+        assert all(line % 64 == 0 for line in lines)
+
+
+def test_program_validates_branch_targets():
+    bad = [
+        StaticInst(0, Opcode.JMP, target=99),
+        StaticInst(1, Opcode.HALT),
+    ]
+    with pytest.raises(ProgramError, match="out-of-range"):
+        Program(bad)
+
+
+def test_program_validates_idx_consistency():
+    bad = [StaticInst(5, Opcode.HALT)]
+    with pytest.raises(ProgramError, match="inconsistent"):
+        Program(bad)
+
+
+def test_disassemble_mentions_labels():
+    a = Asm()
+    a.label("start")
+    a.addi("r1", "r1", 1)
+    a.jmp("start")
+    a.halt()
+    text = a.build().disassemble()
+    assert "start:" in text
+    assert "addi" in text

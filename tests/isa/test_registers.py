@@ -1,0 +1,28 @@
+"""Register-name parsing."""
+
+import pytest
+
+from repro.isa.registers import FP, NUM_REGS, SP, parse_reg, reg_name
+
+
+def test_parse_named_registers():
+    assert parse_reg("r0") == 0
+    assert parse_reg("R7") == 7
+    assert parse_reg("r31") == 31
+    assert parse_reg("sp") == SP
+    assert parse_reg("fp") == FP
+
+
+def test_parse_int_passthrough():
+    assert parse_reg(5) == 5
+
+
+def test_roundtrip_all():
+    for idx in range(NUM_REGS):
+        assert parse_reg(reg_name(idx)) == idx
+
+
+@pytest.mark.parametrize("bad", ["r32", "r-1", "x3", "", "r", "rax", 32, -1])
+def test_rejects_invalid(bad):
+    with pytest.raises(ValueError):
+        parse_reg(bad)

@@ -1,0 +1,78 @@
+"""Set-associative cache: hits, eviction, LRU."""
+
+from repro.memory import Cache
+
+
+def test_cold_miss_then_hit():
+    c = Cache(1024, 2, 64)
+    assert not c.lookup(0x100)
+    c.fill(0x100)
+    assert c.lookup(0x100)
+    assert c.stats.misses == 1 and c.stats.hits == 1
+
+
+def test_same_line_hits():
+    c = Cache(1024, 2, 64)
+    c.fill(0x100)
+    assert c.lookup(0x100 + 63)
+    assert not c.lookup(0x100 + 64)
+
+
+def test_lru_eviction_order():
+    # 2-way: fill three lines mapping to the same set; the LRU one leaves.
+    c = Cache(2 * 64 * 4, 2, 64)  # 4 sets
+    set_span = c.num_sets * 64
+    a, b, d = 0x0, set_span, 2 * set_span  # same set index
+    c.fill(a)
+    c.fill(b)
+    c.lookup(a)  # touch a: b becomes LRU
+    evicted = c.fill(d)
+    assert evicted == b
+    assert c.contains(a) and c.contains(d) and not c.contains(b)
+
+
+def test_occupancy_bounded_by_capacity():
+    c = Cache(1024, 2, 64)
+    for i in range(100):
+        c.fill(i * 64)
+    assert c.occupancy() <= 1024 // 64
+
+
+def test_effective_size_rounds_down_for_odd_geometry():
+    # The paper's 1 MiB / 20-way LLC does not divide evenly.
+    c = Cache(1024 * 1024, 20, 64)
+    assert c.num_sets == (1024 * 1024) // (20 * 64)
+    assert c.size_bytes == c.num_sets * 20 * 64
+    assert c.size_bytes <= 1024 * 1024
+
+
+def test_invalidate():
+    c = Cache(1024, 2, 64)
+    c.fill(0x40)
+    assert c.invalidate(0x40)
+    assert not c.contains(0x40)
+    assert not c.invalidate(0x40)
+
+
+def test_probe_without_stats_or_lru():
+    c = Cache(2 * 64 * 1, 2, 64)  # one set, 2 ways
+    c.fill(0x0)
+    c.fill(64)
+    before = c.stats.accesses
+    assert c.lookup(0x0, update_lru=False, count=False)
+    assert c.stats.accesses == before
+    # 0x0 was NOT refreshed, so it is still LRU and gets evicted.
+    assert c.fill(128) == 0
+
+
+def test_prefetch_fill_accounting():
+    c = Cache(1024, 2, 64)
+    c.fill(0x40, from_prefetch=True)
+    assert c.stats.prefetch_fills == 1
+
+
+def test_reset_stats():
+    c = Cache(1024, 2, 64)
+    c.lookup(0)
+    c.reset_stats()
+    assert c.stats.accesses == 0

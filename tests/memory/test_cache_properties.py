@@ -1,0 +1,79 @@
+"""Property-based tests: cache behaviour vs a dict-of-deques LRU oracle."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import Cache
+
+
+class LruOracle:
+    """Reference model: per-set OrderedDict with move-to-end on touch."""
+
+    def __init__(self, num_sets, assoc, line):
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.line = line
+        self.sets = [OrderedDict() for _ in range(num_sets)]
+
+    def _set(self, addr):
+        line = addr - (addr % self.line)
+        return line, self.sets[(line // self.line) % self.num_sets]
+
+    def lookup(self, addr):
+        line, s = self._set(addr)
+        if line in s:
+            s.move_to_end(line)
+            return True
+        return False
+
+    def fill(self, addr):
+        line, s = self._set(addr)
+        if line not in s and len(s) >= self.assoc:
+            s.popitem(last=False)
+        s[line] = True
+        s.move_to_end(line)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(0, 40)),  # (is_fill, line number)
+        min_size=1,
+        max_size=300,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_matches_lru_oracle(ops):
+    cache = Cache(4 * 2 * 64, 2, 64)  # 4 sets, 2-way
+    oracle = LruOracle(4, 2, 64)
+    for is_fill, line_no in ops:
+        addr = line_no * 64
+        if is_fill:
+            cache.fill(addr)
+            oracle.fill(addr)
+        else:
+            got = cache.lookup(addr)
+            expected = oracle.lookup(addr)
+            assert got == expected, f"divergence at {addr:#x}"
+
+
+@given(
+    lines=st.lists(st.integers(0, 1000), min_size=1, max_size=200),
+)
+@settings(max_examples=40, deadline=None)
+def test_occupancy_never_exceeds_ways(lines):
+    cache = Cache(8 * 4 * 64, 4, 64)
+    for line_no in lines:
+        cache.fill(line_no * 64)
+    for s in cache._sets:
+        assert len(s) <= cache.assoc
+    assert cache.occupancy() <= cache.num_sets * cache.assoc
+
+
+@given(lines=st.lists(st.integers(0, 100), min_size=1, max_size=100))
+@settings(max_examples=40, deadline=None)
+def test_fill_then_immediate_lookup_hits(lines):
+    cache = Cache(16 * 2 * 64, 2, 64)
+    for line_no in lines:
+        cache.fill(line_no * 64)
+        assert cache.lookup(line_no * 64)

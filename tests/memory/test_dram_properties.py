@@ -1,0 +1,51 @@
+"""Property-based DRAM invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import Dram, DramConfig
+
+
+@given(
+    requests=st.lists(
+        st.tuples(st.integers(0, 1 << 20), st.integers(0, 50)),
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_completions_respect_minimum_latency(requests):
+    d = Dram()
+    cfg = d.config
+    now = 0
+    minimum = cfg.t_controller + cfg.t_cas + cfg.t_burst
+    for line_no, gap in requests:
+        now += gap
+        completion = d.request(line_no * 64, now)
+        assert completion >= now + minimum
+
+
+@given(
+    requests=st.lists(st.integers(0, 1 << 18), min_size=2, max_size=150),
+)
+@settings(max_examples=40, deadline=None)
+def test_bus_transfers_never_overlap(requests):
+    """Successive completions are spaced at least one burst apart: the
+    single channel's data bus serialises all transfers."""
+    d = Dram()
+    completions = sorted(d.request(line * 64, 0) for line in requests)
+    for a, b in zip(completions, completions[1:]):
+        assert b - a >= d.config.t_burst or b == a
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_stats_accounting(seed):
+    rng = random.Random(seed)
+    d = Dram()
+    n = rng.randrange(1, 60)
+    for _ in range(n):
+        d.request(rng.randrange(1 << 22) * 64, rng.randrange(1000))
+    assert d.stats.requests == n
+    assert d.stats.row_hits + d.stats.row_misses == n

@@ -1,0 +1,122 @@
+"""Memory hierarchy: levels, latencies, MSHR behaviour, prefetch timing."""
+
+import random
+
+from repro.memory import HierarchyConfig, MemoryHierarchy
+
+
+def _hier(**kw):
+    defaults = dict(prefetchers=())
+    defaults.update(kw)
+    return MemoryHierarchy(HierarchyConfig(**defaults))
+
+
+def test_l1_hit_latency():
+    h = _hier()
+    first = h.load(0x400, 0x1000, now=0)
+    assert first.level == "dram"
+    done = first.completion
+    second = h.load(0x400, 0x1000, now=done + 1)
+    assert second.level == "l1"
+    assert second.completion == done + 1 + h.config.l1d_latency
+
+
+def test_llc_hit_after_l1_eviction():
+    h = _hier()
+    done = h.load(0x400, 0x0, 0).completion
+    # Evict from L1 by filling its set (8-way, 64 sets): 9 conflicting lines.
+    conflict_stride = h.l1d.num_sets * 64
+    t = done + 1
+    for i in range(1, 10):
+        t = max(t, h.load(0x400, i * conflict_stride, t).completion) + 1
+    res = h.load(0x400, 0x0, t + 1)
+    assert res.level == "llc"
+    assert res.completion == t + 1 + h.config.llc_latency
+
+
+def test_secondary_miss_merges_in_mshr():
+    h = _hier()
+    first = h.load(0x400, 0x2000, 0)
+    second = h.load(0x404, 0x2008, 1)  # same line, one cycle later
+    assert second.level == "mshr"
+    assert second.completion >= first.completion
+    assert second.completion <= first.completion + h.config.l1d_latency
+    assert h.mshr.stats.merges == 1
+
+
+def test_mshr_exhaustion_delays_further_misses():
+    h = _hier(l1d_mshrs=4)
+    completions = [h.load(0x400, i * 4096, 0) for i in range(4)]
+    assert all(r.level == "dram" for r in completions)
+    blocked = h.load(0x400, 99 * 4096, 1)
+    # The 5th miss waits for an MSHR: it cannot complete before the
+    # earliest outstanding fill.
+    assert blocked.completion > min(r.completion for r in completions)
+    assert h.mshr.stats.full_stalls > 0
+
+
+def test_mlp_counts_outstanding_misses():
+    h = _hier()
+    results = [h.load(0x400, i * 4096, 0) for i in range(6)]
+    assert [r.mlp for r in results] == [1, 2, 3, 4, 5, 6]
+
+
+def test_store_allocates_without_blocking_mshr():
+    h = _hier()
+    res = h.store(0x400, 0x5000, 0)
+    assert res.level == "dram"
+    assert h.mshr.occupancy() == 0
+    hit = h.load(0x400, 0x5000, 1)
+    assert hit.level == "l1"
+
+
+def test_software_prefetch_hides_latency():
+    h = _hier()
+    h.software_prefetch(0x400, 0x7000, now=0)
+    # Demand far later: the line is in the LLC (and L1).
+    far = h.load(0x400, 0x7000, now=2000)
+    assert far.level in ("l1", "llc")
+    near = MemoryHierarchy(HierarchyConfig(prefetchers=()))
+    near.software_prefetch(0x400, 0x7000, now=0)
+    demand = near.load(0x400, 0x7000, now=10)
+    # Demand soon after: catches the in-flight prefetch -> partial hiding.
+    full = MemoryHierarchy(HierarchyConfig(prefetchers=())).load(0x400, 0x7000, 10)
+    assert demand.completion <= full.completion
+
+
+def test_inst_fetch_miss_then_hit():
+    h = _hier()
+    t = h.inst_fetch(0x400000, 0)
+    assert t > 0
+    assert h.inst_fetch(0x400000, t + 1) == t + 1  # hit: no extra stall
+
+
+def test_fdip_inst_prefetch_warms_l1i():
+    h = _hier()
+    h.inst_prefetch(0x400040, 0)
+    assert h.inst_fetch(0x400040, 1000) == 1000
+
+
+def test_hardware_prefetcher_covers_stream():
+    h = MemoryHierarchy(HierarchyConfig(prefetchers=("stream",)))
+    t = 0
+    misses = 0
+    for i in range(64):
+        res = h.load(0x400, 0x100000 + i * 64, t)
+        misses += res.llc_miss
+        t = res.completion + 1
+    # The stream prefetcher must cover most of the sequential walk.
+    assert misses < 20
+
+
+def test_pointer_chase_not_covered_by_prefetchers():
+    rng = random.Random(5)
+    h = MemoryHierarchy(HierarchyConfig(prefetchers=("bop", "stream")))
+    t = 0
+    misses = 0
+    addrs = [rng.randrange(1 << 26) * 64 for _ in range(64)]
+    for addr in addrs:
+        res = h.load(0x400, addr, t)
+        misses += res.llc_miss
+        t = res.completion + 1
+    assert misses > 56  # essentially every access misses

@@ -1,0 +1,76 @@
+"""Property-based hierarchy invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import HierarchyConfig, MemoryHierarchy
+
+
+@given(
+    accesses=st.lists(
+        st.tuples(st.integers(0, 2000), st.integers(0, 40)),  # (line no, gap)
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_completion_never_before_issue(accesses):
+    h = MemoryHierarchy(HierarchyConfig(prefetchers=()))
+    now = 0
+    for line_no, gap in accesses:
+        now += gap
+        res = h.load(0x400, line_no * 64, now)
+        assert res.completion >= now + h.config.l1d_latency
+        assert res.mlp >= 0
+
+
+@given(
+    accesses=st.lists(st.integers(0, 500), min_size=2, max_size=150),
+)
+@settings(max_examples=40, deadline=None)
+def test_rereference_is_never_slower_than_cold(accesses):
+    """Second access to a line (after its fill) is at most LLC latency."""
+    h = MemoryHierarchy(HierarchyConfig(prefetchers=()))
+    now = 0
+    seen_completion = {}
+    for line_no in accesses:
+        addr = line_no * 64
+        res = h.load(0x400, addr, now)
+        if line_no in seen_completion and now > seen_completion[line_no]:
+            # Previously filled and that fill has completed by now.
+            assert res.completion - now <= h.config.llc_latency + h.config.l1d_latency
+        seen_completion[line_no] = res.completion
+        now = res.completion + 1
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_mshr_occupancy_bounded(seed):
+    rng = random.Random(seed)
+    h = MemoryHierarchy(HierarchyConfig(prefetchers=(), l1d_mshrs=8))
+    now = 0
+    for _ in range(100):
+        h.load(0x400, rng.randrange(1 << 22) * 64, now)
+        assert h.mshr.occupancy() <= 8
+        now += rng.randrange(4)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_prefetchers_never_change_correctness_only_timing(seed):
+    """With and without prefetchers, every access completes; prefetching
+    can only change latency, never lose a request."""
+    rng = random.Random(seed)
+    addresses = [rng.randrange(1 << 16) * 64 for _ in range(120)]
+    results = {}
+    for prefetchers in ((), ("bop", "stream")):
+        h = MemoryHierarchy(HierarchyConfig(prefetchers=prefetchers))
+        now = 0
+        total = 0
+        for addr in addresses:
+            res = h.load(0x400, addr, now)
+            total += res.completion - now
+            now += 2
+        results[prefetchers] = total
+    assert results[()] > 0 and results[("bop", "stream")] > 0

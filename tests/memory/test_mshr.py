@@ -1,0 +1,49 @@
+"""MSHR file: allocation, merging, expiry, capacity."""
+
+import pytest
+
+from repro.memory import MshrFile
+
+
+def test_allocate_and_expire():
+    m = MshrFile(4)
+    m.allocate(0x100, completion=50)
+    assert m.lookup(0x100) == 50
+    assert m.lookup(0x100 + 63) == 50  # same line
+    assert m.lookup(0x100 + 64) is None
+    assert m.expire(49) == []
+    assert m.expire(50) == [0x100 - (0x100 % 64)]
+    assert m.lookup(0x100) is None
+
+
+def test_merge_counts_and_returns_completion():
+    m = MshrFile(4)
+    m.allocate(0x200, 80)
+    assert m.merge(0x23F) == 80
+    assert m.stats.merges == 1
+
+
+def test_merge_without_entry_raises():
+    m = MshrFile(4)
+    with pytest.raises(KeyError):
+        m.merge(0x100)
+
+
+def test_full_and_earliest():
+    m = MshrFile(2)
+    m.allocate(0x000, 100)
+    m.allocate(0x040, 90)
+    assert m.full
+    assert m.earliest_completion() == 90
+    with pytest.raises(RuntimeError):
+        m.allocate(0x080, 120)
+
+
+def test_peak_occupancy_tracked():
+    m = MshrFile(8)
+    for i in range(5):
+        m.allocate(i * 64, 100 + i)
+    assert m.stats.peak_occupancy == 5
+    m.expire(1000)
+    assert m.occupancy() == 0
+    assert m.stats.peak_occupancy == 5

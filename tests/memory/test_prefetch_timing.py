@@ -1,0 +1,40 @@
+"""In-flight prefetch interaction with demand loads (the 'pf' level)."""
+
+from repro.memory import HierarchyConfig, MemoryHierarchy
+
+
+def _hier():
+    return MemoryHierarchy(HierarchyConfig(prefetchers=()))
+
+
+def test_demand_catches_inflight_prefetch():
+    h = _hier()
+    h.software_prefetch(0x400, 0x9000, now=0)
+    # Demand shortly after: partial hiding, level 'pf'.
+    res = h.load(0x400, 0x9000, now=20)
+    assert res.level == "pf"
+    cold = _hier().load(0x400, 0x9000, now=20)
+    assert res.completion < cold.completion
+
+
+def test_prefetch_not_reissued_when_pending():
+    h = _hier()
+    h.software_prefetch(0x400, 0xA000, now=0)
+    before = h.dram.stats.requests
+    h.software_prefetch(0x400, 0xA000, now=1)
+    assert h.dram.stats.requests == before
+
+
+def test_prefetch_skipped_on_resident_line():
+    h = _hier()
+    done = h.load(0x400, 0xB000, 0).completion
+    before = h.dram.stats.requests
+    h.software_prefetch(0x400, 0xB000, now=done + 1)
+    assert h.dram.stats.requests == before
+
+
+def test_prefetch_fill_counts_attributed():
+    h = _hier()
+    h.software_prefetch(0x400, 0xC000, now=0)
+    h.load(0x400, 0x1, now=5000)  # advance time -> fills applied
+    assert h.llc.stats.prefetch_fills >= 1

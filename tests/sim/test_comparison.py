@@ -1,0 +1,31 @@
+"""Paired comparisons and the geomean helper."""
+
+import math
+
+import pytest
+
+from repro.sim import compare_workload, geomean
+
+
+def test_geomean():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+    assert geomean([]) == 0.0
+
+
+def test_compare_workload_end_to_end():
+    cmp = compare_workload("mcf", scale=0.4)
+    assert set(cmp.runs) == {"ooo", "crisp"}
+    assert cmp.speedup("ooo") == 1.0
+    assert cmp.ipc("crisp") > 0
+    assert cmp.improvement_pct("crisp") == pytest.approx(
+        (cmp.speedup("crisp") - 1) * 100
+    )
+    assert cmp.crisp_result.workload_name == "mcf"
+
+
+def test_compare_with_ibda_mode():
+    cmp = compare_workload("mcf", scale=0.4, modes=("ooo", "crisp", "ibda-1k"))
+    assert "ibda-1k" in cmp.runs
+    # IBDA uses no software annotation.
+    assert cmp.runs["ibda-1k"].critical_pcs == frozenset()

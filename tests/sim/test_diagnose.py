@@ -1,0 +1,36 @@
+"""Diagnosis utilities."""
+
+from repro.core import run_crisp_flow
+from repro.sim.diagnose import diagnose, diagnose_workload
+from repro.workloads import get_workload
+
+
+def test_diagnose_reports_groups():
+    flow = run_crisp_flow("mcf", scale=0.3)
+    workload = get_workload("mcf", "ref", scale=0.3)
+    delinquent = set(flow.classification.delinquent_loads)
+    runs = diagnose(
+        workload, {"delinquent": delinquent}, critical_pcs=flow.critical_pcs
+    )
+    assert set(runs) == {"oldest_first", "crisp"}
+    for run in runs.values():
+        profile = run.groups["delinquent"]
+        assert profile.count > 0
+        assert profile.mean_delay >= 0
+
+
+def test_crisp_never_increases_critical_delay():
+    flow = run_crisp_flow("mcf", scale=0.3)
+    workload = get_workload("mcf", "ref", scale=0.3)
+    groups = {"critical": set(flow.critical_pcs)}
+    runs = diagnose(workload, groups, critical_pcs=flow.critical_pcs)
+    assert (
+        runs["crisp"].groups["critical"].mean_delay
+        <= runs["oldest_first"].groups["critical"].mean_delay + 0.01
+    )
+
+
+def test_diagnose_workload_renders_report():
+    text = diagnose_workload("mcf", scale=0.3)
+    assert "oldest_first" in text and "crisp" in text
+    assert "delinquent" in text

@@ -1,0 +1,47 @@
+"""Top-level simulate() API."""
+
+import pytest
+
+from repro.sim import MODES, simulate
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def small_mcf():
+    return get_workload("mcf", "ref", scale=0.3)
+
+
+def test_all_modes_run(small_mcf):
+    for mode in MODES:
+        result = simulate(small_mcf, mode)
+        assert result.stats.retired == len(small_mcf.trace())
+        assert result.mode == mode
+        assert result.workload_name == "mcf"
+
+
+def test_unknown_mode_rejected(small_mcf):
+    with pytest.raises(ValueError, match="unknown mode"):
+        simulate(small_mcf, "runahead")
+
+
+def test_crisp_mode_uses_annotation(small_mcf):
+    tagged = simulate(small_mcf, "crisp", critical_pcs=frozenset({5, 6}))
+    assert tagged.critical_pcs == frozenset({5, 6})
+    assert tagged.stats.issued_critical > 0
+
+
+def test_ooo_ignores_critical_pcs(small_mcf):
+    base = simulate(small_mcf, "ooo")
+    assert base.critical_pcs == frozenset()
+    assert base.stats.issued_critical == 0
+
+
+def test_deterministic_given_same_inputs(small_mcf):
+    a = simulate(small_mcf, "ooo")
+    b = simulate(small_mcf, "ooo")
+    assert a.stats.cycles == b.stats.cycles
+
+
+def test_upc_window_plumbs_through(small_mcf):
+    result = simulate(small_mcf, "ooo", upc_window=32)
+    assert result.stats.upc_timeline

@@ -1,0 +1,48 @@
+"""Pipeline timing export."""
+
+import csv
+import io
+
+from repro.core import run_crisp_flow
+from repro.sim.trace_export import FIELDS, collect_timing, export_csv, to_csv
+from repro.workloads import get_workload
+
+
+def test_rows_are_consistent():
+    w = get_workload("mcf", "ref", scale=0.2)
+    rows = collect_timing(w, limit=500)
+    assert rows
+    for row in rows:
+        assert row.dispatch <= row.ready <= row.issue
+        assert row.delay == row.issue - row.ready
+        assert row.opcode
+
+
+def test_windowing():
+    w = get_workload("mcf", "ref", scale=0.2)
+    rows = collect_timing(w, start=100, limit=50)
+    assert all(100 <= r.seq < 150 for r in rows)
+
+
+def test_critical_column_follows_annotation():
+    flow = run_crisp_flow("mcf", scale=0.2)
+    w = get_workload("mcf", "ref", scale=0.2)
+    rows = collect_timing(
+        w, scheduler="crisp", critical_pcs=flow.critical_pcs, limit=2000
+    )
+    tagged = [r for r in rows if r.critical]
+    assert tagged
+    assert all(r.pc in flow.critical_pcs for r in tagged)
+
+
+def test_csv_round_trip(tmp_path):
+    w = get_workload("mcf", "ref", scale=0.2)
+    path = tmp_path / "timing.csv"
+    count = export_csv(w, str(path), limit=200)
+    text = path.read_text()
+    reader = csv.reader(io.StringIO(text))
+    header = next(reader)
+    assert tuple(header) == FIELDS
+    body = list(reader)
+    assert len(body) == count
+    assert to_csv(collect_timing(w, limit=200)) == text

@@ -1,0 +1,28 @@
+"""Top-level CLI smoke tests."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_workloads_lists_suite(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "mcf" in out and "moses" in out and "pointer_chase" in out
+
+
+def test_simulate_runs(capsys):
+    assert main(["simulate", "mcf", "--scale", "0.2"]) == 0
+    assert "IPC" in capsys.readouterr().out
+
+
+def test_compare_runs(capsys):
+    assert main(["compare", "mcf", "--scale", "0.25"]) == 0
+    out = capsys.readouterr().out
+    assert "delinquent" in out
+    assert "crisp" in out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

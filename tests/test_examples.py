@@ -1,0 +1,47 @@
+"""The example scripts must keep running (fast ones end-to-end)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "speedup" in out
+    assert "delinquent loads" in out
+
+
+def test_fdo_walkthrough():
+    out = run_example("fdo_walkthrough.py")
+    assert "critical-path filter kept" in out
+    assert "annotation:" in out
+
+
+def test_scheduler_microscope():
+    out = run_example("scheduler_microscope.py")
+    assert "CRISP picks" in out
+    assert "ready->issue delays" in out
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 5
+    for script in scripts:
+        text = script.read_text()
+        assert text.startswith('"""'), script.name
+        assert "Run:" in text, f"{script.name} missing a Run: line"

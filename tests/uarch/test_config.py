@@ -1,0 +1,54 @@
+"""Core configuration presets (Table 1 and Figure 9 points)."""
+
+from repro.uarch import CoreConfig
+
+
+def test_skylake_matches_table1():
+    c = CoreConfig.skylake()
+    assert c.fetch_width == 6
+    assert c.rob_entries == 224
+    assert c.rs_entries == 96
+    assert c.alu_ports == 4 and c.load_ports == 2 and c.store_ports == 1
+    assert c.load_buffer == 64 and c.store_buffer == 128
+    assert c.btb_entries == 8192
+    assert c.predictor == "tage"
+    assert c.ftq_entries == 128
+    assert c.hierarchy.l1d_size == 32 * 1024
+    assert c.hierarchy.llc_latency == 36
+    assert c.hierarchy.prefetchers == ("bop", "stream")
+
+
+def test_fig9_scaling_points():
+    assert (CoreConfig.small_window().rs_entries, CoreConfig.small_window().rob_entries) == (64, 180)
+    assert (CoreConfig.plus50().rs_entries, CoreConfig.plus50().rob_entries) == (144, 336)
+    assert (CoreConfig.plus100().rs_entries, CoreConfig.plus100().rob_entries) == (192, 448)
+
+
+def test_with_scheduler_returns_new_config():
+    base = CoreConfig.skylake()
+    crisp = base.with_scheduler("crisp")
+    assert base.scheduler == "oldest_first"
+    assert crisp.scheduler == "crisp"
+    assert crisp.rob_entries == base.rob_entries
+
+
+def test_describe_covers_table1_rows():
+    text = CoreConfig.skylake().describe()
+    for fragment in (
+        "6-way",
+        "4 ALU, 2 Load, 1 Store",
+        "TAGE",
+        "8K entries",
+        "224 entries",
+        "96 entries (unified)",
+        "6-oldest-ready-instructions-first",
+        "BOP",
+        "FDIP",
+        "DDR4-2400",
+    ):
+        assert fragment in text, fragment
+
+
+def test_overrides_via_presets():
+    c = CoreConfig.skylake(rob_entries=300)
+    assert c.rob_entries == 300

@@ -1,0 +1,118 @@
+"""Pipeline branch handling: prediction, redirects, BTB, RAS."""
+
+import random
+
+from repro.isa import Asm, execute
+from repro.uarch import CoreConfig, Pipeline
+
+
+def run(program, memory=None, config=None):
+    trace = execute(program, memory=memory or {})
+    return Pipeline(trace, config or CoreConfig.skylake()).run()
+
+
+def _branchy_program(outcomes, base=0x9000):
+    """Loop whose branch direction follows a data array."""
+    a = Asm()
+    a.movi("r1", base)
+    a.movi("r2", 0)
+    a.movi("r3", len(outcomes))
+    a.label("loop")
+    a.load("r4", "r1", 0)
+    a.beq("r4", "r0", "skip")
+    a.addi("r6", "r6", 1)
+    a.label("skip")
+    a.addi("r1", "r1", 8)
+    a.addi("r2", "r2", 1)
+    a.blt("r2", "r3", "loop")
+    a.halt()
+    memory = {(base + 8 * i) >> 3: int(flag) for i, flag in enumerate(outcomes)}
+    return a.build(), memory
+
+
+def test_predictable_loop_has_few_mispredicts(tiny_loop_program):
+    stats = run(tiny_loop_program)
+    assert stats.branch_mispredict_rate < 0.2
+
+
+def test_random_branch_mispredicts_and_stalls():
+    rng = random.Random(0)
+    outcomes = [rng.random() < 0.5 for _ in range(600)]
+    program, memory = _branchy_program(outcomes)
+    stats = run(program, memory)
+    assert stats.branch_mispredict_rate > 0.2
+    assert stats.fetch_stall_cycles > 0
+    per_pc = stats.branch_pcs
+    hard = [s for s in per_pc.values() if s.mispredict_rate > 0.15]
+    assert hard, "expected at least one hard branch PC"
+
+
+def test_biased_branch_costs_less_than_random():
+    rng = random.Random(1)
+    random_prog = _branchy_program([rng.random() < 0.5 for _ in range(600)])
+    biased_prog = _branchy_program([True] * 600)
+    random_stats = run(*random_prog)
+    biased_stats = run(*biased_prog)
+    assert biased_stats.cycles < random_stats.cycles
+
+
+def test_mispredict_penalty_scales_with_operand_latency():
+    """A branch fed by a missing load stalls fetch until the miss returns."""
+    rng = random.Random(2)
+    n = 100
+    # Random-direction branch on a value that always misses (cold region).
+    a = Asm()
+    a.movi("r1", 0x40000000)
+    a.movi("r2", 0)
+    a.movi("r3", n)
+    a.label("loop")
+    a.load("r4", "r1", 0)  # cold miss every iteration
+    a.beq("r4", "r0", "skip")
+    a.addi("r6", "r6", 1)
+    a.label("skip")
+    a.addi("r1", "r1", 4096)
+    a.addi("r2", "r2", 1)
+    a.blt("r2", "r3", "loop")
+    a.halt()
+    memory = {(0x40000000 + 4096 * i) >> 3: rng.randrange(2) for i in range(n)}
+    stats = run(a.build(), memory)
+    # Mispredicted iterations pay miss latency in fetch stall.
+    assert stats.fetch_stall_cycles > 30 * stats.branch_mispredicts
+
+
+def test_call_ret_predicted_by_ras():
+    a = Asm()
+    a.movi("r1", 0)
+    a.movi("r2", 200)
+    a.label("loop")
+    a.call("fn")
+    a.addi("r1", "r1", 1)
+    a.blt("r1", "r2", "loop")
+    a.halt()
+    a.label("fn")
+    a.addi("r3", "r3", 1)
+    a.ret()
+    stats = run(a.build())
+    assert stats.ras_mispredicts <= 2  # cold RAS at most
+
+
+def test_btb_learns_taken_targets():
+    a = Asm()
+    a.movi("r1", 0)
+    a.movi("r2", 300)
+    a.label("loop")
+    a.addi("r1", "r1", 1)
+    a.blt("r1", "r2", "loop")  # taken 299 times
+    a.halt()
+    stats = run(a.build())
+    assert stats.btb_misses <= 3  # only the first encounters
+
+
+def test_perfect_predictor_removes_direction_stalls():
+    rng = random.Random(3)
+    outcomes = [rng.random() < 0.5 for _ in range(500)]
+    program, memory = _branchy_program(outcomes)
+    tage_stats = run(program, memory)
+    perfect_stats = run(program, memory, CoreConfig.skylake(predictor="perfect"))
+    assert perfect_stats.branch_mispredicts == 0
+    assert perfect_stats.cycles < tage_stats.cycles

@@ -1,0 +1,132 @@
+"""Pipeline memory behaviour: misses, forwarding, MLP, i-cache."""
+
+from tests.conftest import make_chase_workload
+
+from repro.isa import Asm, execute
+from repro.uarch import CoreConfig, Pipeline
+
+
+def run(program, memory=None, config=None, **kw):
+    trace = execute(program, memory=memory or {})
+    pipe = Pipeline(trace, config or CoreConfig.skylake(), **kw)
+    return pipe.run(), trace
+
+
+def test_pointer_chase_is_memory_bound():
+    program, memory, addrs = make_chase_workload(num_nodes=48)
+    stats, trace = run(program, memory)
+    # Each node is a cold miss: cycles per iteration ~ DRAM latency.
+    cycles_per_node = stats.cycles / 48
+    assert cycles_per_node > 100
+    assert stats.llc_load_misses >= 40
+    assert stats.rob_head_stall_cycles > 0.5 * stats.cycles
+
+
+def test_per_pc_load_stats_collected():
+    program, memory, _ = make_chase_workload(num_nodes=32)
+    stats, trace = run(program, memory)
+    chase_pc = 2  # 'load r2, r1, 0'
+    pc_stats = stats.load_pcs[chase_pc]
+    assert pc_stats.execs == 32
+    assert pc_stats.llc_misses > 20
+    assert pc_stats.amat > 50
+    assert pc_stats.avg_mlp >= 1.0
+
+
+def test_store_to_load_forwarding_counted():
+    # Forwarding requires the producing store to still sit in the store
+    # buffer (un-retired) when the load issues; a cold miss at the head of
+    # the ROB blocks retirement while the spill/reload pairs behind it
+    # execute -- the Figure 3 steady state.
+    a = Asm()
+    a.movi("sp", 0x7FFF0000)
+    a.movi("r9", 0x40000000)
+    a.load("r10", "r9", 0)  # cold miss: holds the ROB head
+    a.movi("r1", 7)
+    for i in range(10):
+        a.store("sp", "r1", 0)
+        a.load("r2", "sp", 0)
+        a.add("r1", "r1", "r2")
+    a.halt()
+    stats, _ = run(a.build())
+    assert stats.store_forwards > 0
+
+
+def test_repeat_access_hits_l1():
+    # Serialised re-accesses of one line: a self-pointing chase. The first
+    # load cold-misses; every later one waits for its predecessor and then
+    # hits the (now filled) L1.
+    addr = 0x100000
+    a = Asm()
+    a.movi("r1", addr)
+    for _ in range(20):
+        a.load("r1", "r1", 0)
+    a.halt()
+    stats, _ = run(a.build(), memory={addr >> 3: addr})
+    assert sum(s.l1_hits for s in stats.load_pcs.values()) >= 18
+
+
+def test_parallel_same_line_loads_merge_in_mshr():
+    # Independent loads to one line issued back-to-back merge into the
+    # outstanding miss instead of re-requesting DRAM (one data request;
+    # any further DRAM traffic is instruction fetch).
+    a = Asm()
+    a.movi("r1", 0x100000)
+    for i in range(6):
+        a.load(f"r{2 + i}", "r1", 0)
+    a.halt()
+    trace = execute(a.build(), memory={0x100000 >> 3: 1})
+    pipe = Pipeline(trace, CoreConfig.skylake())
+    pipe.run()
+    assert pipe.hierarchy.mshr.stats.allocations == 1
+    assert pipe.hierarchy.mshr.stats.merges == 5
+
+
+def test_software_prefetch_reduces_cycles():
+    def build(prefetch):
+        program, memory, addrs = make_chase_workload(num_nodes=48)
+        # Rebuild with a prefetch of the next node inside the loop.
+        a = Asm()
+        a.movi("r1", addrs[0])
+        a.movi("r5", 0)
+        a.label("loop")
+        a.load("r2", "r1", 0)
+        if prefetch:
+            a.prefetch("r2", 0)
+        # Filler work so the prefetch has time to act.
+        for i in range(24):
+            a.addi("r6", "r6", 1)
+        a.load("r3", "r1", 8)
+        a.add("r5", "r5", "r3")
+        a.mov("r1", "r2")
+        a.bne("r1", "r0", "loop")
+        a.halt()
+        return a.build(), memory
+
+    base_stats, _ = run(*build(False))
+    pf_stats, _ = run(*build(True))
+    assert pf_stats.cycles < base_stats.cycles
+
+
+def test_icache_misses_on_large_code():
+    # A program far larger than 32 KiB L1I executed once end-to-end.
+    a = Asm()
+    for i in range(12_000):
+        a.addi(f"r{1 + (i % 8)}", f"r{1 + (i % 8)}", 1)
+    a.halt()
+    stats, _ = run(a.build())
+    assert stats.l1i_misses > 100
+
+
+def test_fdip_covers_hot_loop_icache():
+    a = Asm()
+    a.movi("r1", 0)
+    a.movi("r2", 500)
+    a.label("loop")
+    for i in range(10):
+        a.addi("r3", "r3", 1)
+    a.addi("r1", "r1", 1)
+    a.blt("r1", "r2", "loop")
+    a.halt()
+    stats, _ = run(a.build())
+    assert stats.l1i_mpki() < 1.0

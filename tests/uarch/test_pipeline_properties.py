@@ -1,0 +1,99 @@
+"""Property-based pipeline invariants on randomly generated programs."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Asm, execute
+from repro.uarch import CoreConfig, Pipeline
+
+
+def random_program(seed: int, length: int):
+    """Random but well-formed program: ALU mix, memory ops, a few loops."""
+    rng = random.Random(seed)
+    a = Asm()
+    a.movi("sp", 0x7FFF0000)
+    a.movi("r1", 0x10000)
+    a.movi("r15", 0)  # loop counter base
+    loop_open = None
+    for i in range(length):
+        roll = rng.random()
+        dst = f"r{2 + (i % 10)}"
+        src = f"r{2 + ((i * 7) % 10)}"
+        if roll < 0.30:
+            a.addi(dst, src, rng.randrange(256))
+        elif roll < 0.45:
+            a.mul(dst, src, src)
+        elif roll < 0.60:
+            a.load(dst, "sp", 8 * rng.randrange(8))
+        elif roll < 0.72:
+            a.store("sp", src, 8 * rng.randrange(8))
+        elif roll < 0.80:
+            a.load(dst, "r1", 64 * rng.randrange(64))
+        elif roll < 0.9 and loop_open is None:
+            # Open a bounded loop.
+            counter = f"r{20 + (i % 4)}"
+            a.movi(counter, 0)
+            bound = f"r{24 + (i % 4)}"
+            a.movi(bound, rng.randrange(2, 6))
+            label = f"loop{i}"
+            a.label(label)
+            loop_open = (label, counter, bound)
+        elif loop_open is not None:
+            label, counter, bound = loop_open
+            a.addi(counter, counter, 1)
+            a.blt(counter, bound, label)
+            loop_open = None
+        else:
+            a.xori(dst, src, rng.randrange(1024))
+    if loop_open is not None:
+        label, counter, bound = loop_open
+        a.addi(counter, counter, 1)
+        a.blt(counter, bound, label)
+    a.halt()
+    return a.build()
+
+
+@given(seed=st.integers(0, 100_000), length=st.integers(5, 80))
+@settings(max_examples=25, deadline=None)
+def test_random_programs_retire_everything(seed, length):
+    program = random_program(seed, length)
+    trace = execute(program, max_insts=50_000)
+    stats = Pipeline(trace, CoreConfig.skylake()).run()
+    assert stats.retired == len(trace)
+    assert stats.issued >= stats.retired - 1  # HALT completes without issue
+    assert stats.cycles >= len(trace) / 6
+
+
+@given(seed=st.integers(0, 100_000))
+@settings(max_examples=15, deadline=None)
+def test_simulation_is_deterministic(seed):
+    program = random_program(seed, 50)
+    trace = execute(program, max_insts=50_000)
+    a = Pipeline(trace, CoreConfig.skylake()).run()
+    b = Pipeline(trace, CoreConfig.skylake()).run()
+    assert a.cycles == b.cycles
+    assert a.rob_head_stall_cycles == b.rob_head_stall_cycles
+    assert a.branch_mispredicts == b.branch_mispredicts
+
+
+@given(seed=st.integers(0, 100_000))
+@settings(max_examples=15, deadline=None)
+def test_crisp_untagged_is_cycle_identical(seed):
+    """With no critical tags, the CRISP policy degenerates to the baseline."""
+    program = random_program(seed, 60)
+    trace = execute(program, max_insts=50_000)
+    base = Pipeline(trace, CoreConfig.skylake()).run()
+    crisp = Pipeline(trace, CoreConfig.skylake().with_scheduler("crisp")).run()
+    assert base.cycles == crisp.cycles
+
+
+@given(seed=st.integers(0, 100_000))
+@settings(max_examples=10, deadline=None)
+def test_bigger_window_never_slows_down_much(seed):
+    """Growing RS/ROB must not regress beyond jitter (cache/bank artefacts)."""
+    program = random_program(seed, 60)
+    trace = execute(program, max_insts=50_000)
+    small = Pipeline(trace, CoreConfig.small_window()).run()
+    big = Pipeline(trace, CoreConfig.plus100()).run()
+    assert big.cycles <= small.cycles * 1.05

@@ -1,0 +1,74 @@
+"""Reorder buffer and load/store queues."""
+
+import pytest
+
+from repro.uarch import LoadStoreQueues, ReorderBuffer
+
+
+def test_rob_in_order_retirement():
+    rob = ReorderBuffer(8)
+    for seq in range(3):
+        rob.allocate(seq)
+    rob.mark_done(1)
+    rob.mark_done(2)
+    assert rob.retire(4) == []  # head (0) not done
+    rob.mark_done(0)
+    assert rob.retire(4) == [0, 1, 2]
+
+
+def test_rob_retire_width_limit():
+    rob = ReorderBuffer(8)
+    for seq in range(6):
+        rob.allocate(seq)
+        rob.mark_done(seq)
+    assert rob.retire(4) == [0, 1, 2, 3]
+    assert rob.retire(4) == [4, 5]
+
+
+def test_rob_capacity():
+    rob = ReorderBuffer(2)
+    rob.allocate(0)
+    rob.allocate(1)
+    assert rob.full
+    with pytest.raises(RuntimeError):
+        rob.allocate(2)
+
+
+def test_rob_head_tracking():
+    rob = ReorderBuffer(4)
+    assert rob.head() is None
+    rob.allocate(7)
+    assert rob.head() == 7
+    assert not rob.head_done()
+    rob.mark_done(7)
+    assert rob.head_done()
+
+
+def test_lsq_capacity_and_release():
+    lsq = LoadStoreQueues(load_entries=2, store_entries=1)
+    lsq.allocate_load(0)
+    lsq.allocate_load(1)
+    assert not lsq.can_allocate_load()
+    assert lsq.stats.lb_full_stalls == 1
+    lsq.release(0)
+    assert lsq.can_allocate_load()
+    lsq.allocate_store(5)
+    assert not lsq.can_allocate_store()
+    lsq.release(5)
+    assert lsq.can_allocate_store()
+
+
+def test_store_buffered_for_forwarding():
+    lsq = LoadStoreQueues()
+    lsq.allocate_store(3)
+    assert lsq.store_buffered(3)
+    lsq.release(3)  # retirement drains the SB
+    assert not lsq.store_buffered(3)
+
+
+def test_occupancy_counters():
+    lsq = LoadStoreQueues()
+    lsq.allocate_load(1)
+    lsq.allocate_store(2)
+    assert lsq.load_occupancy == 1
+    assert lsq.store_occupancy == 1

@@ -1,0 +1,97 @@
+"""Fast sorted-pick scheduler: policies and port constraints."""
+
+import pytest
+
+from repro.isa.opcodes import FuClass
+from repro.uarch import PortPools, Scheduler
+
+
+def make(policy="oldest_first", alu=4, load=2, store=1, width=6):
+    return Scheduler(policy, PortPools(alu, load, store), width)
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        make("priority_inversion")
+
+
+def test_oldest_first_order():
+    s = make()
+    for seq in (5, 3, 9, 1):
+        s.add_ready(seq, FuClass.ALU, critical=False)
+    picks = [seq for seq, _ in s.pick()]
+    assert picks == [1, 3, 5, 9]
+
+
+def test_port_limits_respected():
+    s = make(alu=1, load=1, store=1, width=6)
+    for seq in range(10):
+        s.add_ready(seq, FuClass.ALU, False)
+    assert len(s.pick()) == 1  # one ALU port
+
+
+def test_width_limit_respected():
+    s = make(alu=4, load=2, store=1, width=3)
+    for seq in range(4):
+        s.add_ready(seq, FuClass.ALU, False)
+    s.add_ready(4, FuClass.LOAD, False)
+    s.add_ready(5, FuClass.STORE, False)
+    picks = s.pick()
+    assert len(picks) == 3
+    assert [seq for seq, _ in picks] == [0, 1, 2]
+
+
+def test_crisp_prioritizes_critical_across_classes():
+    s = make(policy="crisp")
+    s.add_ready(1, FuClass.LOAD, critical=False)  # older, non-critical
+    s.add_ready(2, FuClass.LOAD, critical=False)
+    s.add_ready(3, FuClass.LOAD, critical=True)  # youngest, critical
+    picks = s.pick()
+    # Two load ports: critical 3 first, then oldest non-critical 1.
+    assert [seq for seq, _ in picks[:2]] == [3, 1]
+
+
+def test_crisp_age_order_among_critical():
+    s = make(policy="crisp")
+    s.add_ready(7, FuClass.ALU, True)
+    s.add_ready(2, FuClass.ALU, True)
+    picks = s.pick()
+    assert [seq for seq, _ in picks] == [2, 7]
+
+
+def test_oldest_first_ignores_critical_tag():
+    s = make(policy="oldest_first")
+    s.add_ready(1, FuClass.ALU, False)
+    s.add_ready(2, FuClass.ALU, True)
+    picks = s.pick()
+    assert [seq for seq, _ in picks] == [1, 2]
+
+
+def test_unpicked_survive_to_next_cycle():
+    s = make(alu=1, load=2, store=1, width=1)
+    s.add_ready(1, FuClass.ALU, False)
+    s.add_ready(2, FuClass.ALU, False)
+    assert [seq for seq, _ in s.pick()] == [1]
+    assert len(s) == 1
+    assert [seq for seq, _ in s.pick()] == [2]
+    assert len(s) == 0
+
+
+def test_mixed_class_selection_takes_global_oldest():
+    s = make(width=2)
+    s.add_ready(10, FuClass.ALU, False)
+    s.add_ready(5, FuClass.LOAD, False)
+    s.add_ready(7, FuClass.STORE, False)
+    picks = [seq for seq, _ in s.pick()]
+    assert picks == [5, 7]
+
+
+def test_port_utilization_stats():
+    pools = PortPools(4, 2, 1)
+    s = Scheduler("oldest_first", pools, 6)
+    for seq in range(8):
+        s.add_ready(seq, FuClass.LOAD, False)
+    s.pick()
+    assert pools.stats.issued[FuClass.LOAD] == 2
+    util = pools.utilization(cycles=1)
+    assert util[FuClass.LOAD] == 1.0

@@ -1,0 +1,58 @@
+"""Workload base infrastructure."""
+
+import pytest
+
+from repro.isa import Asm
+from repro.workloads.base import REGISTRY, Workload, WorkloadRegistry, scaled, variant_rng
+
+
+def _dummy_builder(variant="ref", scale=1.0):
+    a = Asm()
+    a.movi("r1", 1)
+    a.halt()
+    return Workload(name="dummy", program=a.build(), memory={})
+
+
+def test_duplicate_registration_rejected():
+    registry = WorkloadRegistry()
+    registry.register("dummy", "micro", _dummy_builder)
+    with pytest.raises(ValueError, match="duplicate"):
+        registry.register("dummy", "micro", _dummy_builder)
+
+
+def test_registry_names_filter_by_category():
+    registry = WorkloadRegistry()
+    registry.register("a", "spec", _dummy_builder)
+    registry.register("b", "datacenter", _dummy_builder)
+    assert registry.names() == ["a", "b"]
+    assert registry.names(category="spec") == ["a"]
+
+
+def test_build_sets_category_and_variant():
+    registry = WorkloadRegistry()
+    registry.register("dummy", "micro", _dummy_builder)
+    w = registry.build("dummy", variant="train")
+    assert w.category == "micro"
+    assert w.variant == "train"
+
+
+def test_variant_rng_differs_between_variants_not_runs():
+    a1 = variant_rng("train", salt=5).random()
+    a2 = variant_rng("train", salt=5).random()
+    b = variant_rng("ref", salt=5).random()
+    assert a1 == a2
+    assert a1 != b
+
+
+def test_variant_rng_salt_independence():
+    assert variant_rng("ref", salt=1).random() != variant_rng("ref", salt=2).random()
+
+
+def test_scaled_clamps():
+    assert scaled(100, 0.5) == 50
+    assert scaled(100, 0.0001) == 1
+    assert scaled(100, 0.0001, minimum=7) == 7
+
+
+def test_global_registry_is_populated():
+    assert len(REGISTRY.names()) >= 17

@@ -1,0 +1,35 @@
+"""Workload construction and simulation must be fully reproducible."""
+
+import pytest
+
+from repro.sim import simulate
+from repro.workloads import get_workload, suite_names
+
+
+def _trace_signature(workload):
+    trace = workload.trace()
+    return (
+        len(trace),
+        sum(d.addr for d in trace if d.addr >= 0) & 0xFFFFFFFF,
+        sum(d.pc for d in trace) & 0xFFFFFFFF,
+    )
+
+
+@pytest.mark.parametrize("name", ["mcf", "moses", "perlbench", "xhpcg"])
+def test_same_inputs_same_trace(name):
+    a = get_workload(name, "ref", scale=0.25)
+    b = get_workload(name, "ref", scale=0.25)
+    assert _trace_signature(a) == _trace_signature(b)
+
+
+def test_full_suite_builds_deterministically():
+    for name in suite_names(include_micro=True):
+        a = get_workload(name, "train", scale=0.2)
+        b = get_workload(name, "train", scale=0.2)
+        assert len(a.trace()) == len(b.trace()), name
+
+
+def test_simulation_reproducible_across_runs():
+    w1 = get_workload("mcf", "ref", scale=0.25)
+    w2 = get_workload("mcf", "ref", scale=0.25)
+    assert simulate(w1, "ooo").stats.cycles == simulate(w2, "ooo").stats.cycles

@@ -1,0 +1,54 @@
+"""The Figure 1/2 microbenchmark builder."""
+
+from repro.sim import simulate
+from repro.workloads import build_pointer_chase
+from repro.workloads.microbench import build_pointer_chase as direct
+
+
+def test_default_shape():
+    w = build_pointer_chase("ref", scale=0.3)
+    trace = w.trace()
+    # Inner loop: vec_size elements x 6 µops + chase overhead per node.
+    loads = sum(1 for d in trace if d.sinst.is_load)
+    assert loads > len(trace) * 0.3  # load-heavy by design
+
+
+def test_vec_size_scales_inner_loop():
+    small = build_pointer_chase("ref", scale=0.2, vec_size=8)
+    large = build_pointer_chase("ref", scale=0.2, vec_size=32)
+    assert len(large.trace()) > 2 * len(small.trace())
+
+
+def test_manual_prefetch_adds_prefetch_ops():
+    plain = build_pointer_chase("ref", scale=0.2)
+    prefetched = build_pointer_chase("ref", scale=0.2, manual_prefetch=True)
+    assert not any(d.sinst.is_prefetch for d in plain.trace())
+    assert any(d.sinst.is_prefetch for d in prefetched.trace())
+
+
+def test_manual_prefetch_improves_ipc():
+    plain = simulate(build_pointer_chase("ref", scale=0.35), "ooo")
+    prefetched = simulate(
+        build_pointer_chase("ref", scale=0.35, manual_prefetch=True), "ooo"
+    )
+    assert prefetched.ipc > plain.ipc
+
+
+def test_num_nodes_override():
+    w = build_pointer_chase("ref", num_nodes=40)
+    # One outer iteration per node (the initial val load also reads via r1).
+    chase_loads = [d for d in w.trace() if d.sinst.is_load and d.sinst.src1 == 1]
+    assert 40 <= len(chase_loads) <= 42
+
+
+def test_spill_reload_is_a_memory_dependence():
+    """The Figure 3 idiom must be present: inner-loop reloads forward from
+    the val spill."""
+    w = build_pointer_chase("ref", scale=0.2)
+    trace = w.trace()
+    reloads = [
+        d for d in trace if d.sinst.is_load and d.sinst.src1 == 30 and d.mem_src >= 0
+    ]
+    assert reloads, "no stack reloads with memory dependence found"
+    producer = trace[reloads[0].mem_src]
+    assert producer.sinst.is_store

@@ -1,0 +1,57 @@
+"""Workload registry and variant semantics."""
+
+import pytest
+
+from repro.workloads import REGISTRY, get_workload, suite_names
+
+
+def test_suite_contains_paper_apps():
+    names = suite_names()
+    for app in (
+        "bwaves", "cactus", "deepsjeng", "fotonik", "gcc", "lbm", "mcf",
+        "nab", "namd", "omnetpp", "perlbench", "xz", "xhpcg", "moses",
+        "memcached", "img_dnn",
+    ):
+        assert app in names
+    assert len(names) == 16
+
+
+def test_micro_included_on_request():
+    assert suite_names(include_micro=True)[0] == "pointer_chase"
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ValueError, match="unknown workload"):
+        get_workload("spec_ribs")
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(ValueError, match="variant"):
+        get_workload("mcf", variant="test")
+
+
+def test_variants_differ_in_data_not_code():
+    train = get_workload("mcf", "train")
+    ref = get_workload("mcf", "ref")
+    assert len(train.program) == len(ref.program)
+    assert len(train.trace()) != len(ref.trace())  # different input sizes
+
+
+def test_scale_shrinks_run_length():
+    small = get_workload("mcf", "ref", scale=0.25)
+    full = get_workload("mcf", "ref", scale=1.0)
+    assert len(small.trace()) < len(full.trace())
+
+
+def test_workload_metadata_populated():
+    for name in suite_names():
+        w = REGISTRY.build(name)
+        assert w.description
+        assert w.character
+        assert w.category in ("spec", "hpcg", "datacenter", "micro")
+        assert REGISTRY.describe(name)
+
+
+def test_trace_is_cached():
+    w = get_workload("mcf", "ref", scale=0.2)
+    assert w.trace() is w.trace()

@@ -1,0 +1,125 @@
+"""Each workload must exhibit the memory/branch character its paper
+narrative requires -- verified from the functional trace and a profile run.
+
+These are the load-bearing properties the evaluation's shape rests on, so
+they are tested explicitly rather than assumed.
+"""
+
+import pytest
+
+from repro.core import classify, profile_workload
+from repro.workloads import get_workload
+
+SCALE = 0.35
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            w = get_workload(name, "train", scale=SCALE)
+            report, stats = profile_workload(w)
+            cache[name] = (w, report, stats)
+        return cache[name]
+
+    return get
+
+
+def test_all_workloads_profile_cleanly(profiles):
+    from repro.workloads import suite_names
+
+    for name in suite_names(include_micro=True):
+        _, report, _ = profiles(name)
+        assert report.total_insts > 3000, name
+
+
+def test_memory_bound_apps_miss_the_llc(profiles):
+    for name in ("mcf", "moses", "xhpcg", "omnetpp", "gcc", "memcached"):
+        _, report, _ = profiles(name)
+        mpki = 1000.0 * report.total_llc_load_misses / report.total_insts
+        assert mpki > 5, f"{name} LLC load MPKI {mpki:.1f} too low"
+
+
+def test_compute_bound_app_outruns_pointer_bound_apps(profiles):
+    # img_dnn is compute-bound: its baseline IPC must clearly exceed the
+    # pointer-chasing apps', whose serial misses cap throughput.
+    _, _, dnn_stats = profiles("img_dnn")
+    for name in ("mcf", "omnetpp", "memcached"):
+        _, _, other = profiles(name)
+        assert dnn_stats.ipc > 1.2 * other.ipc, name
+
+
+def test_lbm_streams_are_prefetched(profiles):
+    """lbm's loads stream: the baseline prefetchers must cover most of what
+    would otherwise miss (compare against a prefetcher-less core)."""
+    from dataclasses import replace
+
+    from repro.core import profile_workload as profile
+    from repro.memory import HierarchyConfig
+    from repro.uarch import CoreConfig
+
+    w, report, _ = profiles("lbm")
+    bare_config = CoreConfig.skylake(hierarchy=HierarchyConfig(prefetchers=()))
+    bare_report, _ = profile(w, bare_config)
+    covered = 1 - report.total_llc_load_misses / max(1, bare_report.total_llc_load_misses)
+    assert covered > 0.5, f"prefetchers cover only {covered:.0%} of lbm's misses"
+
+
+def test_branch_bound_apps_have_hard_branches(profiles):
+    for name in ("lbm", "deepsjeng", "perlbench", "cactus"):
+        _, report, _ = profiles(name)
+        assert report.hard_branches(), f"{name} has no hard branches"
+
+
+def test_regular_apps_have_predictable_branches(profiles):
+    for name in ("bwaves", "xhpcg", "img_dnn"):
+        _, report, stats = profiles(name)
+        assert stats.branch_mispredict_rate < 0.05, name
+
+
+def test_bwaves_gathers_have_high_mlp(profiles):
+    _, report, _ = profiles("bwaves")
+    missing = [s for s in report.loads.values() if s.llc_misses > 10]
+    assert missing
+    # The batched gathers overlap: average MLP across missing loads is high.
+    avg = sum(s.avg_mlp for s in missing) / len(missing)
+    assert avg > 4
+
+
+def test_serial_chase_apps_have_low_mlp_delinquents(profiles):
+    for name in ("mcf", "gcc", "omnetpp"):
+        _, report, _ = profiles(name)
+        result = classify(report)
+        assert result.delinquent_loads, name
+        for pc in result.delinquent_loads:
+            stats = report.loads[pc]
+            if stats.avg_mlp:  # stall-arm admissions may have higher MLP
+                assert stats.avg_mlp < 6, f"{name} pc{pc}"
+
+
+def test_namd_slice_crosses_memory(profiles):
+    """namd's cursor passes through the stack; nab's does not."""
+    namd, _, _ = profiles("namd")
+    nab, _, _ = profiles("nab")
+
+    def has_stack_reload_in_cursor_path(workload):
+        trace = workload.trace()
+        # A load from sp whose value feeds a later gather address.
+        for d in trace:
+            if d.sinst.is_load and d.sinst.src1 == 30 and d.mem_src >= 0:
+                return True
+        return False
+
+    assert has_stack_reload_in_cursor_path(namd)
+
+
+def test_moses_has_many_distinct_block_pcs(profiles):
+    w, _, _ = profiles("moses")
+    assert len(w.program) > 800, "moses must have many distinct static blocks"
+
+
+def test_perlbench_has_large_static_code(profiles):
+    w, _, _ = profiles("perlbench")
+    assert len(w.program) > 500
