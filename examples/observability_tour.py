@@ -1,0 +1,54 @@
+"""Tour of the observability layer: registry, event trace, run report.
+
+Runs the Figure 1/2 pointer-chase microbenchmark with an event tracer
+attached, then shows the three outputs documented in docs/OBSERVABILITY.md:
+
+1. the stats registry every pipeline structure registers into
+   (docs/METRICS.md is the reference for the names printed here),
+2. JSONL + Chrome-trace event files (open the latter in chrome://tracing
+   or https://ui.perfetto.dev),
+3. the per-run markdown/JSON report with stall attribution.
+
+Run:  python examples/observability_tour.py
+"""
+
+from repro.sim import simulate
+from repro.telemetry import EventTracer, stall_attribution
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("pointer_chase", "ref", scale=0.3)
+    tracer = EventTracer(sample_interval=32)
+    result = simulate(workload, "ooo", tracer=tracer)
+
+    registry = result.registry
+    print("== registry (selected metrics; full list in docs/METRICS.md) ==")
+    for name in (
+        "core.cycles",
+        "core.stall.rob_head_cycles",
+        "memory.demand.llc_load_misses",
+        "memory.dram.requests",
+    ):
+        print(f"  {name:35s} {registry.value(name)}")
+    mshr = registry.get("memory.mshr.occupancy")
+    print(f"  memory.mshr.occupancy               mean={mshr.mean:.2f} max={mshr.maximum}")
+    latency = registry.get("memory.demand.load_latency")
+    print(f"  memory.demand.load_latency          mean={latency.mean:.1f} cycles"
+          f" p90<={latency.percentile(0.9):.0f}")
+
+    rows = tracer.write_jsonl("pointer_chase.trace.jsonl")
+    events = tracer.write_chrome_trace("pointer_chase.chrome.json")
+    print(f"\n== trace: {rows} JSONL rows, {events} Chrome-trace events ==")
+    print("open pointer_chase.chrome.json in chrome://tracing")
+
+    report = result.report()
+    with open("pointer_chase.report.md", "w") as handle:
+        handle.write(report.to_markdown())
+    print("\n== report (pointer_chase.report.md) ==")
+    for label, cycles, frac in stall_attribution(result.stats):
+        print(f"  {label:15s} {cycles:8d} cycles  {frac:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

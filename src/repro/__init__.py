@@ -20,11 +20,13 @@ Package layout:
 * :mod:`repro.uarch`     -- the cycle-level out-of-order core
 * :mod:`repro.core`      -- CRISP itself (+ the IBDA hardware baseline)
 * :mod:`repro.sim`       -- top-level simulate/compare API
+* :mod:`repro.telemetry` -- stats registry, event tracing, run reports
 * :mod:`repro.experiments` -- one module per paper table/figure
 """
 
 from .core import CrispConfig, CrispResult, DelinquencyConfig, run_crisp_flow
 from .sim import SimResult, WorkloadComparison, compare_workload, geomean, simulate
+from .telemetry import EventTracer, RunReport, StatsRegistry
 from .uarch import CoreConfig, SimStats
 from .workloads import Workload, get_workload, suite_names
 
@@ -35,8 +37,11 @@ __all__ = [
     "CrispConfig",
     "CrispResult",
     "DelinquencyConfig",
+    "EventTracer",
+    "RunReport",
     "SimResult",
     "SimStats",
+    "StatsRegistry",
     "Workload",
     "WorkloadComparison",
     "compare_workload",

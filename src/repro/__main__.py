@@ -29,11 +29,32 @@ def cmd_workloads(args) -> int:
 
 def cmd_simulate(args) -> int:
     from .sim import simulate
+    from .telemetry import EventTracer
     from .workloads import get_workload
 
     workload = get_workload(args.workload, variant=args.variant, scale=args.scale)
-    result = simulate(workload, args.mode)
+    tracer = None
+    if args.trace is not None:
+        tracer = EventTracer(
+            sample_interval=args.trace_interval, max_events=args.trace_events
+        )
+    result = simulate(workload, args.mode, tracer=tracer)
     print(result.stats.summary())
+    if tracer is not None:
+        jsonl_path = f"{args.trace}.jsonl"
+        chrome_path = f"{args.trace}.chrome.json"
+        rows = tracer.write_jsonl(jsonl_path)
+        events = tracer.write_chrome_trace(chrome_path)
+        print(f"trace: {rows} rows -> {jsonl_path}")
+        print(f"trace: {events} events -> {chrome_path} (open in chrome://tracing)")
+    if args.report is not None:
+        report = result.report()
+        json_path = args.report.rsplit(".", 1)[0] + ".json"
+        with open(args.report, "w") as handle:
+            handle.write(report.to_markdown())
+        with open(json_path, "w") as handle:
+            handle.write(report.to_json())
+        print(f"report: {args.report} (+ {json_path})")
     return 0
 
 
@@ -83,6 +104,30 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--mode", default="ooo", help="ooo | crisp | ibda-1k | ...")
     p.add_argument("--variant", default="ref")
     p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument(
+        "--trace",
+        nargs="?",
+        const="trace",
+        default=None,
+        metavar="PREFIX",
+        help="write pipeline event traces to PREFIX.jsonl + PREFIX.chrome.json",
+    )
+    p.add_argument(
+        "--trace-interval", type=int, default=64,
+        help="cycles between occupancy samples (with --trace)",
+    )
+    p.add_argument(
+        "--trace-events", type=int, default=200_000,
+        help="cap on recorded instruction events (with --trace)",
+    )
+    p.add_argument(
+        "--report",
+        nargs="?",
+        const="report.md",
+        default=None,
+        metavar="PATH",
+        help="write a markdown run report to PATH (+ .json sibling)",
+    )
 
     p = sub.add_parser("compare", help="train->annotate->evaluate comparison")
     p.add_argument("workload")

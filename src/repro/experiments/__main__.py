@@ -26,6 +26,11 @@ def main(argv: list[str] | None = None) -> int:
         default="",
         help="comma-separated workload subset (default: full suite)",
     )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="print markdown tables instead of aligned text",
+    )
     args = parser.parse_args(argv)
 
     names = [args.experiment] if args.experiment != "all" else sorted(EXPERIMENTS)
@@ -40,7 +45,7 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["workloads"] = args.workloads.split(",")
         start = time.time()
         result = run_experiment(name, **kwargs)
-        print(result.to_text())
+        print(result.to_markdown() if args.markdown else result.to_text())
         print(f"[{name} took {time.time() - start:.0f}s]\n")
     return 0
 

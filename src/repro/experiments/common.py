@@ -40,6 +40,25 @@ class ExperimentResult:
                 return row
         raise KeyError(f"no row {key!r} in {self.experiment}")
 
+    def to_markdown(self) -> str:
+        """Render as a markdown table (the run-report companion format).
+
+        Every ``experiments/fig*.py`` result is embeddable in an
+        observability report this way; ``python -m repro.experiments <id>
+        --markdown`` prints it.
+        """
+        headers = [str(h) for h in self.headers]
+        lines = [f"## {self.title}", ""]
+        lines.append("| " + " | ".join(headers) + " |")
+        lines.append("|" + "|".join("---" for _ in headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*note: {note}*")
+        lines.append("")
+        return "\n".join(lines)
+
     def to_text(self) -> str:
         """Render as an aligned text table."""
         headers = [str(h) for h in self.headers]

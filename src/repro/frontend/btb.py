@@ -46,6 +46,22 @@ class Btb:
         self._sets[pc % self.num_sets][pc] = (target, self._tick)
         return target
 
+    def register_stats(self, scope) -> dict:
+        """Register BTB lookup/hit counters into a telemetry scope."""
+        for field_name, desc in (
+            ("lookups", "target lookups for predicted-taken branches"),
+            ("hits", "lookups that found an entry"),
+        ):
+            scope.counter(
+                field_name,
+                unit="events",
+                desc=desc,
+                owner="BTB",
+                figure="fig12",
+                collect=lambda f=field_name: getattr(self.stats, f),
+            )
+        return {}
+
     def update(self, pc: int, target: int) -> None:
         """Install/refresh the target of the branch at ``pc``."""
         btb_set = self._sets[pc % self.num_sets]

@@ -32,6 +32,18 @@ class Fdip:
         self.lines_per_cycle = lines_per_cycle
         self.stats = FdipStats()
 
+    def register_stats(self, scope) -> dict:
+        """Register the FDIP prefetch counter into a telemetry scope."""
+        scope.counter(
+            "prefetches",
+            unit="lines",
+            desc="instruction lines prefetched from the FTQ into the L1I",
+            owner="FDIP",
+            figure="fig12",
+            collect=lambda: self.stats.prefetches,
+        )
+        return {}
+
     def tick(self, now: int) -> None:
         """Prefetch up to ``lines_per_cycle`` FTQ entries this cycle."""
         for _ in range(self.lines_per_cycle):

@@ -40,3 +40,20 @@ class ReturnAddressStack:
 
     def __len__(self) -> int:
         return len(self._stack)
+
+    def register_stats(self, scope) -> dict:
+        """Register RAS push/pop/underflow counters into a telemetry scope."""
+        for field_name, desc in (
+            ("pushes", "return addresses pushed by CALLs"),
+            ("pops", "predictions popped by RETs"),
+            ("underflows", "pops from an empty stack (fall-through predicted)"),
+        ):
+            scope.counter(
+                field_name,
+                unit="events",
+                desc=desc,
+                owner="RAS",
+                figure="fig7",
+                collect=lambda f=field_name: getattr(self.stats, f),
+            )
+        return {}

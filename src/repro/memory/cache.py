@@ -124,3 +124,32 @@ class Cache:
 
     def reset_stats(self) -> None:
         self.stats = CacheStats()
+
+    # -- telemetry ------------------------------------------------------------
+
+    def register_stats(self, scope, figure: str = "") -> dict:
+        """Register this level's counters into a telemetry scope.
+
+        Collector-backed: reads go through ``self.stats`` at snapshot time,
+        so ``reset_stats`` and the hot lookup/fill paths are unaffected.
+        Returns no sampleable gauges (occupancy is derivable on demand).
+        """
+        owner = f"{self.name} cache"
+        for field_name, desc in (
+            ("accesses", "demand lookups (hits + misses)"),
+            ("hits", "demand lookups that hit"),
+            ("misses", "demand lookups that missed"),
+            ("fills", "lines installed (demand + prefetch)"),
+            ("evictions", "LRU evictions caused by fills"),
+            ("prefetch_fills", "lines installed by a prefetcher"),
+            ("prefetch_hits", "demand accesses caught by an in-flight prefetch"),
+        ):
+            scope.counter(
+                field_name,
+                unit="events",
+                desc=desc,
+                owner=owner,
+                figure=figure,
+                collect=lambda f=field_name: getattr(self.stats, f),
+            )
+        return {}

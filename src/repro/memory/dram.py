@@ -99,3 +99,25 @@ class Dram:
 
     def reset_stats(self) -> None:
         self.stats = DramStats()
+
+    # -- telemetry ------------------------------------------------------------
+
+    def register_stats(self, scope) -> dict:
+        """Register DRAM counters into a telemetry scope (no gauges)."""
+        owner = "DRAM"
+        for field_name, unit, desc in (
+            ("requests", "events", "line reads issued to the channel"),
+            ("row_hits", "events", "requests that hit the open row"),
+            ("row_misses", "events", "requests that needed precharge/activate"),
+            ("total_latency", "cycles", "summed request latency (issue to data)"),
+            ("bus_stall_cycles", "cycles", "transfer cycles lost to data-bus contention"),
+        ):
+            scope.counter(
+                field_name,
+                unit=unit,
+                desc=desc,
+                owner=owner,
+                figure="fig7",
+                collect=lambda f=field_name: getattr(self.stats, f),
+            )
+        return {}

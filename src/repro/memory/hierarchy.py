@@ -101,6 +101,20 @@ class MemoryHierarchy:
     def outstanding_demand_misses(self) -> int:
         return self.mshr.occupancy()
 
+    def register_stats(self, scope) -> dict:
+        """Register every level of the hierarchy into a telemetry scope.
+
+        Returns the union of sampleable gauges (currently the MSHR
+        occupancy gauge) for the pipeline's periodic sampler.
+        """
+        gauges: dict = {}
+        gauges.update(self.l1i.register_stats(scope.scope("l1i"), figure="fig12"))
+        gauges.update(self.l1d.register_stats(scope.scope("l1d"), figure="fig7"))
+        gauges.update(self.llc.register_stats(scope.scope("llc"), figure="fig7"))
+        gauges.update(self.mshr.register_stats(scope.scope("mshr")))
+        gauges.update(self.dram.register_stats(scope.scope("dram")))
+        return gauges
+
     # -- data side ---------------------------------------------------------------
 
     def load(self, pc: int, addr: int, now: int) -> AccessResult:

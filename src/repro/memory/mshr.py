@@ -73,3 +73,36 @@ class MshrFile:
 
     def note_full_stall(self) -> None:
         self.stats.full_stalls += 1
+
+    # -- telemetry ------------------------------------------------------------
+
+    def register_stats(self, scope) -> dict:
+        """Register MSHR counters + the live-occupancy gauge.
+
+        Returns ``{"mshr": gauge}``; the pipeline samples the gauge on its
+        telemetry interval (occupancy over time is the MLP the core is
+        actually expressing -- the Section 3.2 input).
+        """
+        owner = "MSHR file"
+        for field_name, unit, desc in (
+            ("allocations", "events", "new outstanding misses"),
+            ("merges", "events", "secondary misses merged into an entry"),
+            ("full_stalls", "events", "allocation attempts that found the file full"),
+            ("peak_occupancy", "entries", "high-water mark of outstanding misses"),
+        ):
+            scope.counter(
+                field_name,
+                unit=unit,
+                desc=desc,
+                owner=owner,
+                figure="sec31",
+                collect=lambda f=field_name: getattr(self.stats, f),
+            )
+        gauge = scope.gauge(
+            "occupancy",
+            unit="entries",
+            desc="outstanding demand misses (sampled; the expressed MLP)",
+            owner=owner,
+            figure="sec31",
+        )
+        return {"mshr": gauge}

@@ -35,6 +35,26 @@ class WorkloadComparison:
     def improvement_pct(self, mode: str, over: str = "ooo") -> float:
         return (self.speedup(mode, over) - 1.0) * 100.0
 
+    def report(self, mode: str):
+        """Per-run :class:`~repro.telemetry.report.RunReport` for ``mode``."""
+        return self.runs[mode].report()
+
+    def summary_markdown(self) -> str:
+        """Cross-mode comparison table (one row per evaluated mode)."""
+        lines = [
+            f"# Comparison — {self.name}",
+            "",
+            "| mode | IPC | vs ooo | rob-head stall cycles |",
+            "|---|---|---|---|",
+        ]
+        for mode, run in self.runs.items():
+            lines.append(
+                f"| {mode} | {run.ipc:.3f} | {self.improvement_pct(mode):+.1f}% "
+                f"| {run.stats.rob_head_stall_cycles} |"
+            )
+        lines.append("")
+        return "\n".join(lines)
+
 
 def compare_workload(
     name: str,

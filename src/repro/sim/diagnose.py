@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.fdo import CrispResult, run_crisp_flow
+from ..telemetry.registry import StatsRegistry
 from ..uarch.config import CoreConfig
 from ..uarch.pipeline import Pipeline
 from ..workloads.base import REGISTRY, Workload
@@ -41,14 +42,33 @@ class DelayProfile:
 
 @dataclass
 class DiagnosisRun:
-    """One instrumented run."""
+    """One instrumented run.
+
+    Cycle/stall numbers are read from the run's stats registry rather than
+    copied field-by-field out of ``SimStats`` (every structure registers
+    its counters there; see docs/METRICS.md for the names).
+    """
 
     scheduler: str
-    ipc: float
-    cycles: int
-    rob_head_stall: int
-    fetch_stall: int
+    telemetry: StatsRegistry
     groups: dict[str, DelayProfile] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return self.telemetry.value("core.cycles")
+
+    @property
+    def ipc(self) -> float:
+        cycles = self.cycles
+        return self.telemetry.value("core.retired") / cycles if cycles else 0.0
+
+    @property
+    def rob_head_stall(self) -> int:
+        return self.telemetry.value("core.stall.rob_head_cycles")
+
+    @property
+    def fetch_stall(self) -> int:
+        return self.telemetry.value("core.stall.fetch_cycles")
 
 
 def diagnose(
@@ -74,13 +94,10 @@ def diagnose(
             critical_pcs=critical_pcs if scheduler == "crisp" else frozenset(),
             record_timing=True,
         )
-        stats = pipeline.run()
+        pipeline.run()
         run = DiagnosisRun(
             scheduler=scheduler,
-            ipc=stats.ipc,
-            cycles=stats.cycles,
-            rob_head_stall=stats.rob_head_stall_cycles,
-            fetch_stall=stats.fetch_stall_cycles,
+            telemetry=pipeline.telemetry,
             groups={label: DelayProfile() for label in pc_groups},
         )
         for seq, issue in pipeline.issue_times.items():

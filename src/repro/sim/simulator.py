@@ -14,6 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.ibda import make_ibda
+from ..telemetry.registry import StatsRegistry
+from ..telemetry.report import RunReport, build_report
+from ..telemetry.tracer import EventTracer
 from ..uarch.config import CoreConfig
 from ..uarch.pipeline import Pipeline
 from ..uarch.stats import SimStats
@@ -30,10 +33,17 @@ class SimResult:
     mode: str
     stats: SimStats
     critical_pcs: frozenset[int]
+    #: The run's stats registry (every structure's counters/gauges); see
+    #: docs/METRICS.md. None only for hand-built results.
+    registry: StatsRegistry | None = None
 
     @property
     def ipc(self) -> float:
         return self.stats.ipc
+
+    def report(self) -> RunReport:
+        """Render this run as a markdown/JSON report (docs/OBSERVABILITY.md)."""
+        return build_report(self)
 
 
 def simulate(
@@ -43,6 +53,7 @@ def simulate(
     config: CoreConfig | None = None,
     critical_pcs: frozenset[int] = frozenset(),
     upc_window: int = 0,
+    tracer: EventTracer | None = None,
 ) -> SimResult:
     """Run ``workload`` in ``mode`` and return the result.
 
@@ -50,6 +61,9 @@ def simulate(
     annotation produced by the FDO flow on the train input. The binary is
     laid out with the one-byte prefix on those instructions, so i-cache
     effects of the annotation are part of the measurement (Section 5.7).
+
+    Pass an :class:`~repro.telemetry.tracer.EventTracer` to stream pipeline
+    events (and populate the latency/delay histograms) during the run.
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; known: {MODES}")
@@ -57,7 +71,10 @@ def simulate(
     trace = workload.trace()
     if mode == "ooo":
         pipeline = Pipeline(
-            trace, config.with_scheduler("oldest_first"), upc_window=upc_window
+            trace,
+            config.with_scheduler("oldest_first"),
+            upc_window=upc_window,
+            tracer=tracer,
         )
         used = frozenset()
     elif mode == "crisp":
@@ -66,6 +83,7 @@ def simulate(
             config.with_scheduler("crisp"),
             critical_pcs=critical_pcs,
             upc_window=upc_window,
+            tracer=tracer,
         )
         used = frozenset(critical_pcs)
     else:
@@ -75,7 +93,8 @@ def simulate(
             config.with_scheduler("crisp"),
             ibda=make_ibda(size),
             upc_window=upc_window,
+            tracer=tracer,
         )
         used = frozenset()
     stats = pipeline.run()
-    return SimResult(workload.name, mode, stats, used)
+    return SimResult(workload.name, mode, stats, used, registry=pipeline.telemetry)

@@ -1,0 +1,341 @@
+"""Hierarchical simulation-statistics registry.
+
+Every pipeline structure (front end, scheduler, ROB, LSQ, caches, MSHRs,
+DRAM, ...) registers its counters into one :class:`StatsRegistry` under a
+dot-separated hierarchical name (``memory.l1d.misses``). Three metric kinds
+are supported:
+
+* :class:`Counter` -- a monotonically increasing event count. Counters can
+  be *direct* (owned by the registry, bumped via :meth:`Counter.inc`) or
+  *collector-backed*: they read a live value from an existing stats object
+  on demand, so the simulator's hot loop keeps its plain-integer fields and
+  pays nothing for observability.
+* :class:`Gauge` -- an occupancy-over-time series (ROB/RS/MSHR occupancy).
+  Sampled periodically; tracks count/sum/min/max/last so mean occupancy is
+  available without storing the series.
+* :class:`Histogram` -- a bucketed distribution (load latency,
+  ready->issue scheduling delay).
+
+Registered metrics carry their documentation: unit, owning structure, a
+one-line description, and the paper figure they feed. ``docs/METRICS.md``
+is generated from (and lint-checked against) exactly this metadata; see
+``scripts/check_metrics_docs.py``.
+
+Registration is cheap (done once per :class:`~repro.uarch.pipeline.Pipeline`
+construction) and reading is pull-based: :meth:`StatsRegistry.snapshot`
+materialises current values, including collector-backed ones.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Callable, Iterator
+
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+
+class Metric:
+    """Base class: identity plus documentation metadata."""
+
+    kind = "metric"
+
+    __slots__ = ("name", "unit", "desc", "owner", "figure")
+
+    def __init__(self, name: str, unit: str, desc: str, owner: str, figure: str):
+        self.name = name
+        self.unit = unit
+        self.desc = desc
+        self.owner = owner
+        self.figure = figure  # paper figure/table this feeds ("fig7", ...)
+
+    @property
+    def value(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def reset(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}={self.value}>"
+
+
+class Counter(Metric):
+    """Monotonic event count; direct or collector-backed."""
+
+    kind = "counter"
+
+    __slots__ = ("_value", "_collect", "_offset")
+
+    def __init__(
+        self,
+        name: str,
+        unit: str = "events",
+        desc: str = "",
+        owner: str = "",
+        figure: str = "",
+        collect: Callable[[], int | float] | None = None,
+    ):
+        super().__init__(name, unit, desc, owner, figure)
+        self._value = 0
+        self._collect = collect
+        self._offset = 0
+
+    def inc(self, n: int = 1) -> None:
+        if self._collect is not None:
+            raise TypeError(f"{self.name} is collector-backed; mutate the source")
+        self._value += n
+
+    @property
+    def value(self) -> int | float:
+        if self._collect is not None:
+            return self._collect() - self._offset
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the counter. Collector-backed counters rebase on the live
+        source value, so a registry reset between runs does not require the
+        underlying structure to be rebuilt."""
+        if self._collect is not None:
+            self._offset = self._collect()
+        else:
+            self._value = 0
+
+
+class Gauge(Metric):
+    """Occupancy-over-time: periodic samples of an instantaneous level."""
+
+    kind = "gauge"
+
+    __slots__ = ("count", "total", "minimum", "maximum", "last")
+
+    def __init__(
+        self,
+        name: str,
+        unit: str = "entries",
+        desc: str = "",
+        owner: str = "",
+        figure: str = "",
+    ):
+        super().__init__(name, unit, desc, owner, figure)
+        self.reset()
+
+    def sample(self, value: int | float) -> None:
+        self.count += 1
+        self.total += value
+        self.last = value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def value(self) -> int | float:
+        return self.last
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.minimum = float("inf")
+        self.maximum = 0
+        self.last = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "samples": self.count,
+            "mean": self.mean,
+            "min": self.minimum if self.count else 0,
+            "max": self.maximum,
+            "last": self.last,
+        }
+
+
+#: Default histogram bucket bounds: powers of two, good for cycle counts.
+POW2_BOUNDS = tuple(2**i for i in range(11))  # 1 .. 1024, +inf overflow
+
+
+class Histogram(Metric):
+    """Bucketed distribution with fixed upper bounds (last bucket = +inf)."""
+
+    kind = "histogram"
+
+    __slots__ = ("bounds", "counts", "count", "total", "maximum")
+
+    def __init__(
+        self,
+        name: str,
+        unit: str = "cycles",
+        desc: str = "",
+        owner: str = "",
+        figure: str = "",
+        bounds: tuple[int, ...] = POW2_BOUNDS,
+    ):
+        super().__init__(name, unit, desc, owner, figure)
+        self.bounds = tuple(bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(f"{name}: histogram bounds must be strictly increasing")
+        self.reset()
+
+    def observe(self, value: int | float, n: int = 1) -> None:
+        self.count += n
+        self.total += value * n
+        if value > self.maximum:
+            self.maximum = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += n
+                return
+        self.counts[-1] += n  # overflow bucket
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def value(self) -> int:
+        return self.count
+
+    def percentile(self, q: float) -> float:
+        """Upper bound of the bucket containing quantile ``q`` (0..1)."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target:
+                return float(self.bounds[i]) if i < len(self.bounds) else float(self.maximum)
+        return float(self.maximum)
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.maximum = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "mean": self.mean,
+            "max": self.maximum,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+        }
+
+
+class StatsRegistry:
+    """Flat store of hierarchically named metrics.
+
+    Names are dot-separated (``memory.llc.misses``); :meth:`scope` returns a
+    view that prefixes registrations, which is how each structure registers
+    under its own subtree without knowing the full path.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, Metric] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def _register(self, metric: Metric) -> Metric:
+        if not _NAME_RE.match(metric.name):
+            raise ValueError(f"invalid metric name {metric.name!r}")
+        if metric.name in self._metrics:
+            raise ValueError(f"duplicate metric {metric.name!r}")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, **kw) -> Counter:
+        return self._register(Counter(name, **kw))
+
+    def gauge(self, name: str, **kw) -> Gauge:
+        return self._register(Gauge(name, **kw))
+
+    def histogram(self, name: str, **kw) -> Histogram:
+        return self._register(Histogram(name, **kw))
+
+    def scope(self, prefix: str) -> "Scope":
+        return Scope(self, prefix)
+
+    # -- access ---------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> Metric:
+        return self._metrics[name]
+
+    def value(self, name: str):
+        return self._metrics[name].value
+
+    def names(self) -> list[str]:
+        return list(self._metrics)
+
+    def find(self, prefix: str) -> list[Metric]:
+        """All metrics whose name starts with ``prefix.`` (or equals it)."""
+        dotted = prefix + "."
+        return [
+            m for n, m in self._metrics.items() if n == prefix or n.startswith(dotted)
+        ]
+
+    # -- lifecycle / export ---------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every metric (rebasing collector-backed counters)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def snapshot(self) -> dict[str, dict]:
+        """Flat ``{name: snapshot}`` of current values (collectors pulled)."""
+        return {name: m.snapshot() for name, m in self._metrics.items()}
+
+    def tree(self) -> dict:
+        """Snapshot as a nested dict keyed by name segments."""
+        root: dict = {}
+        for name, metric in self._metrics.items():
+            node = root
+            *parents, leaf = name.split(".")
+            for part in parents:
+                node = node.setdefault(part, {})
+            node[leaf] = metric.snapshot()
+        return root
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+class Scope:
+    """Registration view that prefixes names into a parent registry."""
+
+    def __init__(self, registry: StatsRegistry, prefix: str):
+        self.registry = registry
+        self.prefix = prefix
+
+    def _name(self, name: str) -> str:
+        return f"{self.prefix}.{name}"
+
+    def counter(self, name: str, **kw) -> Counter:
+        return self.registry.counter(self._name(name), **kw)
+
+    def gauge(self, name: str, **kw) -> Gauge:
+        return self.registry.gauge(self._name(name), **kw)
+
+    def histogram(self, name: str, **kw) -> Histogram:
+        return self.registry.histogram(self._name(name), **kw)
+
+    def scope(self, prefix: str) -> "Scope":
+        return Scope(self.registry, self._name(prefix))

@@ -1,0 +1,193 @@
+"""Per-run report rendering: markdown for humans, JSON for tooling.
+
+A :class:`RunReport` condenses one timing run into the quantities the paper
+argues from: IPC, where the cycles went (stall attribution -- the Section
+5.2 head-of-ROB confirmation metric), how the scheduler treated critical
+vs. non-critical instructions (Figure 9's mechanism), and the memory-system
+counters (Figures 4/7). The JSON side embeds the full
+:class:`~repro.telemetry.registry.StatsRegistry` snapshot, so anything a
+structure registered is machine-readable without re-running.
+
+Consumers: ``python -m repro simulate --report``, the
+``sim.comparison.WorkloadComparison.report`` method, and the per-figure
+experiment modules via ``experiments.common.ExperimentResult.to_markdown``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a runtime import cycle with repro.uarch
+    from ..uarch.stats import SimStats
+    from .registry import StatsRegistry
+
+
+def stall_attribution(stats: "SimStats") -> list[tuple[str, int, float]]:
+    """Stall cycles by source as ``(label, cycles, fraction_of_cycles)``.
+
+    This is the single shared implementation of stall-attribution plumbing;
+    ``sim.diagnose`` and the run reports both render from it. The
+    categories can overlap in time (a blocked front end while the ROB head
+    waits on DRAM), so fractions need not sum to 1.
+    """
+    total = stats.cycles or 1
+    rows = [
+        ("rob_head_stall", stats.rob_head_stall_cycles),
+        ("fetch_stall", stats.fetch_stall_cycles),
+        ("icache_stall", stats.icache_stall_cycles),
+    ]
+    return [(label, cycles, cycles / total) for label, cycles in rows]
+
+
+def top_stall_pcs(stats: "SimStats", n: int = 10) -> list[tuple[int, int, float]]:
+    """Top-``n`` static PCs by head-of-ROB stall cycles: ``(pc, cycles, frac)``."""
+    total = stats.cycles or 1
+    ranked = sorted(
+        stats.rob_head_stall_by_pc.items(), key=lambda kv: kv[1], reverse=True
+    )
+    return [(pc, cycles, cycles / total) for pc, cycles in ranked[:n]]
+
+
+@dataclass
+class RunReport:
+    """One run's summary, renderable as markdown or JSON."""
+
+    workload: str
+    mode: str
+    stats: "SimStats"
+    registry: "StatsRegistry | None" = None
+
+    # -- derived tables -------------------------------------------------------
+
+    def headline(self) -> list[tuple[str, str]]:
+        s = self.stats
+        return [
+            ("IPC", f"{s.ipc:.3f}"),
+            ("cycles", str(s.cycles)),
+            ("retired", str(s.retired)),
+            ("dynamic code bytes", str(s.dynamic_code_bytes)),
+        ]
+
+    def scheduler_rows(self) -> list[tuple[str, str]]:
+        s = self.stats
+        crit_share = s.issued_critical / s.issued if s.issued else 0.0
+        return [
+            ("issued", str(s.issued)),
+            ("issued critical", f"{s.issued_critical} ({crit_share:.1%})"),
+            ("critical bypass events", str(s.critical_bypass_events)),
+        ]
+
+    def branch_rows(self) -> list[tuple[str, str]]:
+        s = self.stats
+        return [
+            ("conditional branches", str(s.cond_branches)),
+            ("mispredict rate", f"{s.branch_mispredict_rate:.3%}"),
+            ("BTB misses", str(s.btb_misses)),
+            ("RAS mispredicts", str(s.ras_mispredicts)),
+        ]
+
+    def memory_rows(self) -> list[tuple[str, str]]:
+        s = self.stats
+        return [
+            ("loads", str(s.loads)),
+            ("LLC load misses", str(s.llc_load_misses)),
+            ("store forwards", str(s.store_forwards)),
+            ("L1I MPKI", f"{s.l1i_mpki():.3f}"),
+            ("LLC MPKI", f"{s.llc_mpki():.2f}"),
+            ("DRAM requests", str(s.dram_requests)),
+            ("DRAM row-hit rate", f"{s.dram_row_hit_rate:.1%}"),
+        ]
+
+    # -- renderers ------------------------------------------------------------
+
+    def to_markdown(self, *, top_pcs: int = 10) -> str:
+        lines = [f"# Run report — {self.workload} ({self.mode})", ""]
+
+        def table(title: str, rows: list[tuple[str, str]]) -> None:
+            lines.append(f"## {title}")
+            lines.append("")
+            lines.append("| metric | value |")
+            lines.append("|---|---|")
+            lines.extend(f"| {k} | {v} |" for k, v in rows)
+            lines.append("")
+
+        table("Headline", self.headline())
+
+        lines.append("## Stall attribution")
+        lines.append("")
+        lines.append("| source | cycles | % of cycles |")
+        lines.append("|---|---|---|")
+        for label, cycles, frac in stall_attribution(self.stats):
+            lines.append(f"| {label} | {cycles} | {frac:.1%} |")
+        lines.append("")
+        lines.append(
+            "Categories overlap in time (a stalled front end behind a "
+            "DRAM-bound ROB head counts in both), so percentages need not "
+            "sum to 100%."
+        )
+        lines.append("")
+
+        table("Scheduler (critical-first mechanism)", self.scheduler_rows())
+        table("Branches", self.branch_rows())
+        table("Memory", self.memory_rows())
+
+        pcs = top_stall_pcs(self.stats, top_pcs)
+        if pcs:
+            lines.append("## Top head-of-ROB stall PCs")
+            lines.append("")
+            lines.append("| pc | stall cycles | % of cycles |")
+            lines.append("|---|---|---|")
+            for pc, cycles, frac in pcs:
+                lines.append(f"| {pc} | {cycles} | {frac:.1%} |")
+            lines.append("")
+
+        if self.registry is not None:
+            lines.append("## Registered metrics")
+            lines.append("")
+            lines.append(
+                f"{len(self.registry)} metrics registered; full values in the "
+                "JSON report (see docs/METRICS.md for the reference)."
+            )
+            lines.append("")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        s = self.stats
+        out = {
+            "workload": self.workload,
+            "mode": self.mode,
+            "ipc": s.ipc,
+            "cycles": s.cycles,
+            "retired": s.retired,
+            "stall_attribution": [
+                {"source": label, "cycles": cycles, "fraction": frac}
+                for label, cycles, frac in stall_attribution(s)
+            ],
+            "scheduler": {
+                "issued": s.issued,
+                "issued_critical": s.issued_critical,
+                "critical_bypass_events": s.critical_bypass_events,
+            },
+            "top_stall_pcs": [
+                {"pc": pc, "cycles": cycles, "fraction": frac}
+                for pc, cycles, frac in top_stall_pcs(s)
+            ],
+        }
+        if self.registry is not None:
+            out["metrics"] = self.registry.snapshot()
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def build_report(result) -> RunReport:
+    """Build a :class:`RunReport` from a ``sim.simulator.SimResult``."""
+    return RunReport(
+        workload=result.workload_name,
+        mode=result.mode,
+        stats=result.stats,
+        registry=getattr(result, "registry", None),
+    )

@@ -39,3 +39,31 @@ class PortPools:
             issued = self.stats.issued.get(fu, 0)
             out[fu] = issued / (cap * cycles) if cycles else 0.0
         return out
+
+    # -- telemetry ------------------------------------------------------------
+
+    def register_stats(self, scope) -> dict:
+        """Register per-class issue counts + the port-pressure counter."""
+        owner = "issue ports"
+        for fu, label in (
+            (FuClass.ALU, "alu"),
+            (FuClass.LOAD, "load"),
+            (FuClass.STORE, "store"),
+        ):
+            scope.counter(
+                f"{label}_issued",
+                unit="uops",
+                desc=f"instructions issued on {label.upper()} ports",
+                owner=owner,
+                figure="fig9",
+                collect=lambda f=fu: self.stats.issued.get(f, 0),
+            )
+        scope.counter(
+            "port_limited_cycles",
+            unit="cycles",
+            desc="cycles the scheduler filled its width with ready work left over",
+            owner=owner,
+            figure="fig9",
+            collect=lambda: self.stats.port_limited_cycles,
+        )
+        return {}

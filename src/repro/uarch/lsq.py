@@ -73,3 +73,40 @@ class LoadStoreQueues:
     @property
     def store_occupancy(self) -> int:
         return len(self._stores)
+
+    # -- telemetry ------------------------------------------------------------
+
+    def register_stats(self, scope) -> dict:
+        """Register LB/SB counters + occupancy gauges into a telemetry scope."""
+        owner = "load/store queues"
+        for field_name, desc in (
+            ("load_allocs", "load-buffer entries allocated at dispatch"),
+            ("store_allocs", "store-buffer entries allocated at dispatch"),
+            ("lb_full_stalls", "dispatch attempts blocked by a full load buffer"),
+            ("sb_full_stalls", "dispatch attempts blocked by a full store buffer"),
+            ("forwards", "loads satisfied by store-to-load forwarding"),
+        ):
+            scope.counter(
+                field_name,
+                unit="events",
+                desc=desc,
+                owner=owner,
+                figure="fig9",
+                collect=lambda f=field_name: getattr(self.stats, f),
+            )
+        return {
+            "lsq_loads": scope.gauge(
+                "load_occupancy",
+                unit="entries",
+                desc="load-buffer entries in flight (sampled)",
+                owner=owner,
+                figure="fig9",
+            ),
+            "lsq_stores": scope.gauge(
+                "store_occupancy",
+                unit="entries",
+                desc="store-buffer entries in flight (sampled)",
+                owner=owner,
+                figure="fig9",
+            ),
+        }

@@ -42,6 +42,8 @@ from ..isa.emulator import ExecutionTrace
 from ..isa.opcodes import FuClass, Opcode
 from ..isa.program import CodeLayout
 from ..memory.hierarchy import MemoryHierarchy
+from ..telemetry.registry import StatsRegistry
+from ..telemetry.tracer import EventTracer
 from .config import CoreConfig
 from .functional_units import PortPools
 from .lsq import LoadStoreQueues
@@ -67,6 +69,7 @@ class Pipeline:
         layout: CodeLayout | None = None,
         upc_window: int = 0,
         record_timing: bool = False,
+        tracer: EventTracer | None = None,
     ):
         self.trace = trace
         self.config = config or CoreConfig()
@@ -92,11 +95,63 @@ class Pipeline:
         # Optional per-dynamic-instruction timing introspection: seq ->
         # cycle. Populated only when record_timing is set (debugging and
         # the scheduler-behaviour tests use this; it is too large to keep
-        # for full evaluation runs).
-        self.record_timing = record_timing
+        # for full evaluation runs). An attached tracer implies it: the
+        # ready->issue delay histogram needs the ready timestamps.
+        self.tracer = tracer
+        self.record_timing = record_timing or tracer is not None
         self.ready_times: dict[int, int] = {}
         self.issue_times: dict[int, int] = {}
         self.dispatch_times: dict[int, int] = {}
+        # Observability: every structure registers its counters into one
+        # hierarchical registry at construction time. Counters are
+        # collector-backed (zero hot-loop cost); the gauges returned here
+        # are occupancy-over-time series the run loop samples on the
+        # tracer's interval.
+        self.telemetry = StatsRegistry()
+        self._gauges = self._register_telemetry()
+
+    def _register_telemetry(self) -> dict:
+        reg = self.telemetry
+        gauges: dict = {}
+        self.stats.register_into(reg)
+        gauges.update(self.rob.register_stats(reg.scope("uarch.rob")))
+        gauges.update(self.scheduler.register_stats(reg.scope("uarch.sched")))
+        gauges.update(self.lsq.register_stats(reg.scope("uarch.lsq")))
+        self.ports.register_stats(reg.scope("uarch.ports"))
+        gauges.update(self.hierarchy.register_stats(reg.scope("memory")))
+        self.btb.register_stats(reg.scope("frontend.btb"))
+        self.ras.register_stats(reg.scope("frontend.ras"))
+        self.fdip.register_stats(reg.scope("frontend.fdip"))
+        gauges["ftq"] = reg.gauge(
+            "frontend.ftq.occupancy",
+            unit="entries",
+            desc="fetch-target-queue entries queued for FDIP (sampled)",
+            owner="FTQ",
+            figure="fig12",
+        )
+        gauges["rs"] = reg.gauge(
+            "uarch.rs.occupancy",
+            unit="entries",
+            desc="reservation-station entries in flight (sampled)",
+            owner="reservation station",
+            figure="fig9",
+        )
+        self._load_latency_hist = reg.histogram(
+            "memory.demand.load_latency",
+            unit="cycles",
+            desc="per-load issue-to-data latency (traced runs only)",
+            owner="L1D/LLC/DRAM",
+            figure="fig4",
+            bounds=(4, 8, 16, 36, 64, 128, 256, 512, 1024),
+        )
+        self._issue_delay_hist = reg.histogram(
+            "uarch.sched.ready_to_issue_delay",
+            unit="cycles",
+            desc="cycles an instruction sat ready before issue (traced runs only)",
+            owner="scheduler",
+            figure="fig9",
+        )
+        return gauges
 
     # -- front-end helpers ---------------------------------------------------
 
@@ -199,6 +254,8 @@ class Pipeline:
         rob = self.rob
         lsq = self.lsq
         hier = self.hierarchy
+        tracer = self.tracer
+        next_sample = 0
 
         while retired < n:
             if now >= max_cycles:
@@ -211,6 +268,8 @@ class Pipeline:
                 _, seq = heapq.heappop(events)
                 done.add(seq)
                 rob.mark_done(seq)
+                if tracer is not None:
+                    tracer.complete(now, seq)
                 if seq in inflight_miss:
                     # Sample MLP again at completion: a load issued first in
                     # a volley sees no overlap at issue but plenty at
@@ -248,6 +307,8 @@ class Pipeline:
                 critical_flag.pop(seq, None)
                 retired += 1
                 window_retired += 1
+                if tracer is not None:
+                    tracer.retire(now, seq, insts[seq].pc)
 
             # 3. Issue.
             picks = sched.pick()
@@ -284,6 +345,8 @@ class Pipeline:
                             stats.llc_load_misses += 1
                             if self.ibda is not None:
                                 self.ibda.on_llc_miss(d.pc)
+                            if tracer is not None:
+                                tracer.llc_miss(now, seq, d.pc, d.addr)
                 elif op is Opcode.PREFETCH:
                     hier.software_prefetch(layout_addr[d.pc], d.addr, now)
                     completion = now + 1
@@ -293,6 +356,13 @@ class Pipeline:
                 else:
                     completion = now + sinst.latency
                 heapq.heappush(events, (completion, seq))
+                if tracer is not None:
+                    tracer.issue(now, seq, d.pc, crit)
+                    ready = self.ready_times.get(seq)
+                    if ready is not None:
+                        self._issue_delay_hist.observe(now - ready)
+                    if sinst.is_load:
+                        self._load_latency_hist.observe(completion - now)
                 stats.issued += 1
                 if crit:
                     stats.issued_critical += 1
@@ -333,6 +403,8 @@ class Pipeline:
                 crit = self._is_critical(d)
                 critical_flag[seq] = crit
                 rs_used += 1
+                if tracer is not None:
+                    tracer.dispatch(now, seq, d.pc, crit)
                 remaining = 0
                 for p in d.producers():
                     # Retirement is in order, so every seq < `retired` has
@@ -376,12 +448,16 @@ class Pipeline:
                     decode_queue.append(seq)
                     fetch_seq += 1
                     fetched += 1
+                    if tracer is not None:
+                        tracer.fetch(now, seq, d.pc)
                     if d.sinst.is_branch:
                         outcome = self._predict_branch(seq, now)
                         if outcome == "mispredict":
                             pending_redirect = seq
                             self.ftq.flush()
                             ftq_seq = fetch_seq
+                            if tracer is not None:
+                                tracer.flush(now, seq, d.pc)
                             break
                         if outcome == "btb_miss":
                             fetch_blocked_until = now + cfg.btb_miss_penalty
@@ -441,6 +517,20 @@ class Pipeline:
                     )
                 if pending_redirect is not None or fetch_blocked_until > now + 1:
                     stats.fetch_stall_cycles += idle
+            if tracer is not None and now >= next_sample:
+                occupancy = {
+                    "rob": len(rob),
+                    "rs": rs_used,
+                    "sched_ready": len(sched),
+                    "mshr": hier.mshr.occupancy(),
+                    "ftq": len(self.ftq),
+                    "lsq_loads": lsq.load_occupancy,
+                    "lsq_stores": lsq.store_occupancy,
+                }
+                for key, value in occupancy.items():
+                    self._gauges[key].sample(value)
+                tracer.sample(now, occupancy)
+                next_sample = now + tracer.sample_interval
             now += advance
             if self.upc_window:
                 while now >= next_window_end:

@@ -51,3 +51,17 @@ class ReorderBuffer:
             self._done.discard(seq)
             retired.append(seq)
         return retired
+
+    # -- telemetry ------------------------------------------------------------
+
+    def register_stats(self, scope) -> dict:
+        """Register the ROB occupancy gauge (sampled by the pipeline)."""
+        return {
+            "rob": scope.gauge(
+                "occupancy",
+                unit="entries",
+                desc="ROB entries in flight (sampled; Figure 9 sizes this)",
+                owner="ROB",
+                figure="fig9",
+            )
+        }

@@ -50,6 +50,23 @@ class Scheduler:
             return 0
         return 1
 
+    def register_stats(self, scope) -> dict:
+        """Register the ready-pool occupancy gauge (sampled by the pipeline).
+
+        Issue counts and the port-pressure counter live with
+        :class:`~repro.uarch.functional_units.PortPools`; the scheduler's
+        own observable state is how much ready work is waiting for a port.
+        """
+        return {
+            "sched_ready": scope.gauge(
+                "ready_occupancy",
+                unit="entries",
+                desc="ready instructions waiting for an issue slot (sampled)",
+                owner="scheduler",
+                figure="fig9",
+            )
+        }
+
     def add_ready(self, seq: int, fu: FuClass, critical: bool) -> None:
         """An instruction's operands became available."""
         heapq.heappush(self._heaps[fu], (self._key(seq, critical), seq, int(critical)))

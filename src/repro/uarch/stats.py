@@ -122,6 +122,62 @@ class SimStats:
             stats = self.branch_pcs[pc] = PcBranchStats()
         return stats
 
+    def register_into(self, registry) -> None:
+        """Back every aggregate field with a collector in ``registry``.
+
+        The dataclass fields stay plain integers (the pipeline's hot loop
+        mutates them directly, at zero observability cost); the registry
+        reads them through collectors at snapshot time. Metric names,
+        units, owners, and paper figures registered here are the contract
+        documented in docs/METRICS.md and enforced by
+        ``scripts/check_metrics_docs.py``.
+        """
+        spec = (
+            # name, field, unit, owner, figure, description
+            ("core.cycles", "cycles", "cycles", "pipeline", "fig7",
+             "simulated cycles for the run"),
+            ("core.retired", "retired", "insts", "pipeline", "fig7",
+             "instructions retired (one uop each; IPC = retired/cycles)"),
+            ("core.dynamic_code_bytes", "dynamic_code_bytes", "bytes", "pipeline", "fig12",
+             "summed encoded size of retired instructions (prefix overhead)"),
+            ("core.stall.rob_head_cycles", "rob_head_stall_cycles", "cycles", "ROB", "fig1",
+             "cycles an uncompleted instruction sat at the ROB head (Sec 5.2)"),
+            ("core.stall.fetch_cycles", "fetch_stall_cycles", "cycles", "front end", "fig1",
+             "cycles fetch was blocked (mispredict redirect or i-miss wait)"),
+            ("core.stall.icache_cycles", "icache_stall_cycles", "cycles", "L1I", "fig12",
+             "fetch-blocked cycles attributable to L1I miss fills"),
+            ("uarch.sched.issued", "issued", "uops", "scheduler", "fig9",
+             "instructions issued to functional units"),
+            ("uarch.sched.issued_critical", "issued_critical", "uops", "scheduler", "fig9",
+             "issued instructions carrying the critical tag"),
+            ("uarch.sched.critical_bypass_events", "critical_bypass_events", "events",
+             "scheduler", "fig9",
+             "critical instructions issued over an older ready non-critical one"),
+            ("frontend.branch.cond_branches", "cond_branches", "events", "TAGE", "fig8",
+             "conditional branches predicted"),
+            ("frontend.branch.mispredicts", "branch_mispredicts", "events", "TAGE", "fig8",
+             "conditional-branch mispredictions"),
+            ("frontend.btb.misses", "btb_misses", "events", "BTB", "fig12",
+             "taken branches whose target was absent or stale in the BTB"),
+            ("frontend.ras.mispredicts", "ras_mispredicts", "events", "RAS", "fig7",
+             "returns whose RAS prediction was wrong"),
+            ("memory.demand.loads", "loads", "events", "LSQ/L1D", "fig4",
+             "demand loads issued"),
+            ("memory.demand.llc_load_misses", "llc_load_misses", "events", "LLC", "fig4",
+             "demand loads that missed the LLC (the delinquency signal)"),
+            ("memory.demand.store_forwards", "store_forwards", "events", "store buffer",
+             "fig4", "loads satisfied by store-to-load forwarding"),
+        )
+        for name, field_name, unit, owner, figure, desc in spec:
+            registry.counter(
+                name,
+                unit=unit,
+                desc=desc,
+                owner=owner,
+                figure=figure,
+                collect=lambda f=field_name: getattr(self, f),
+            )
+
     def summary(self) -> str:
         """One-paragraph human-readable summary."""
         return (

@@ -1,0 +1,120 @@
+"""Registry semantics: counters, gauges, histograms, naming, reset."""
+
+import pytest
+
+from repro.telemetry import StatsRegistry
+
+
+def test_counter_direct_increment():
+    reg = StatsRegistry()
+    c = reg.counter("core.events", unit="events", desc="test")
+    assert c.value == 0
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    assert reg.value("core.events") == 5
+
+
+def test_counter_collector_backed_reads_live_source():
+    reg = StatsRegistry()
+    box = {"n": 0}
+    c = reg.counter("core.live", collect=lambda: box["n"])
+    box["n"] = 7
+    assert c.value == 7
+    with pytest.raises(TypeError):
+        c.inc()  # collector-backed counters are read-only views
+
+
+def test_counter_reset_rebases_collector():
+    reg = StatsRegistry()
+    box = {"n": 10}
+    c = reg.counter("core.live", collect=lambda: box["n"])
+    assert c.value == 10
+    reg.reset()
+    assert c.value == 0  # rebased on the live source
+    box["n"] = 13
+    assert c.value == 3
+
+
+def test_gauge_tracks_occupancy_series():
+    reg = StatsRegistry()
+    g = reg.gauge("uarch.occ")
+    for v in (3, 9, 1):
+        g.sample(v)
+    assert g.count == 3
+    assert g.mean == pytest.approx(13 / 3)
+    assert g.minimum == 1 and g.maximum == 9 and g.last == 1
+    g.reset()
+    assert g.count == 0 and g.mean == 0.0 and g.last == 0
+
+
+def test_histogram_buckets_and_percentile():
+    reg = StatsRegistry()
+    h = reg.histogram("mem.lat", bounds=(10, 100, 1000))
+    for v in (5, 50, 50, 500, 5000):
+        h.observe(v)
+    assert h.count == 5
+    assert h.counts == [1, 2, 1, 1]  # <=10, <=100, <=1000, overflow
+    assert h.mean == pytest.approx(5605 / 5)
+    assert h.maximum == 5000
+    assert h.percentile(0.2) == 10.0
+    assert h.percentile(0.5) == 100.0
+    h.reset()
+    assert h.count == 0 and h.counts == [0, 0, 0, 0]
+
+
+def test_histogram_rejects_unsorted_bounds():
+    reg = StatsRegistry()
+    with pytest.raises(ValueError):
+        reg.histogram("bad.bounds", bounds=(10, 5))
+
+
+def test_hierarchical_names_validated_and_unique():
+    reg = StatsRegistry()
+    reg.counter("a.b.c")
+    with pytest.raises(ValueError):
+        reg.counter("a.b.c")  # duplicate
+    with pytest.raises(ValueError):
+        reg.counter("Bad.Name")  # uppercase rejected
+    with pytest.raises(ValueError):
+        reg.counter("a..b")  # empty segment
+
+
+def test_scope_prefixes_and_nests():
+    reg = StatsRegistry()
+    mem = reg.scope("memory")
+    l1d = mem.scope("l1d")
+    l1d.counter("misses")
+    assert "memory.l1d.misses" in reg
+    assert [m.name for m in reg.find("memory")] == ["memory.l1d.misses"]
+    assert reg.find("memory.l1") == []  # prefix match is per-segment
+
+
+def test_tree_nests_by_segment():
+    reg = StatsRegistry()
+    reg.counter("a.b.x").inc(2)
+    reg.counter("a.c")
+    tree = reg.tree()
+    assert tree["a"]["b"]["x"]["value"] == 2
+    assert tree["a"]["c"]["kind"] == "counter"
+
+
+def test_snapshot_and_json_roundtrip():
+    import json
+
+    reg = StatsRegistry()
+    reg.counter("a.n").inc(3)
+    reg.gauge("a.g").sample(4)
+    snap = json.loads(reg.to_json())
+    assert snap["a.n"]["value"] == 3
+    assert snap["a.g"]["last"] == 4
+
+
+def test_reset_between_runs_zeroes_everything():
+    reg = StatsRegistry()
+    c = reg.counter("x.c")
+    g = reg.gauge("x.g")
+    h = reg.histogram("x.h", bounds=(1, 2))
+    c.inc(5), g.sample(5), h.observe(5)
+    reg.reset()
+    assert c.value == 0 and g.count == 0 and h.count == 0
