@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Lint: the resilience catalog must be documented and exercised.
+
+The source of truth is the code: ``repro.resilience.INVARIANT_CLASSES``
+(what the checker audits) and ``repro.resilience.FAULT_CLASSES`` (what the
+injection harness can break). This script fails (exit 1) when any catalog
+entry is
+
+* missing from ``docs/RESILIENCE.md`` (as a backticked name), or
+* never exercised by a test in ``tests/resilience/`` (the name must appear
+  in at least one test file — a checker that has never caught anything is
+  untested code),
+
+or when the doc names an invariant/fault that no longer exists in the
+code. Runs standalone (``python scripts/check_invariant_catalog.py``) and
+inside tier-1 (``tests/resilience/test_invariant_catalog.py``), mirroring
+``scripts/check_metrics_docs.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOC_PATH = REPO_ROOT / "docs" / "RESILIENCE.md"
+TESTS_DIR = REPO_ROOT / "tests" / "resilience"
+
+#: Catalog names are snake_case identifiers in backticks: `rob_order`.
+_BACKTICKED_RE = re.compile(r"`([a-z][a-z0-9_]*)`")
+
+
+def _catalogs():
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.resilience import FAULT_CLASSES, INVARIANT_CLASSES
+
+    return INVARIANT_CLASSES, FAULT_CLASSES
+
+
+def documented_names(text: str | None = None) -> set[str]:
+    if text is None:
+        text = DOC_PATH.read_text()
+    return set(_BACKTICKED_RE.findall(text))
+
+
+def exercised_names() -> set[str]:
+    corpus = "".join(
+        path.read_text() for path in sorted(TESTS_DIR.glob("test_*.py"))
+    )
+    return set(re.findall(r"[a-z][a-z0-9_]*", corpus))
+
+
+def check() -> list[str]:
+    invariants, faults = _catalogs()
+    catalog = {**invariants, **faults}
+    problems = []
+    if not DOC_PATH.exists():
+        return [f"{DOC_PATH} is missing"]
+    documented = documented_names()
+    tested = exercised_names()
+    for name in sorted(catalog):
+        if name not in documented:
+            problems.append(
+                f"{name}: in the code catalog but not documented "
+                f"(backticked) in docs/RESILIENCE.md"
+            )
+        if name not in tested:
+            problems.append(
+                f"{name}: in the code catalog but never exercised by any "
+                f"test in tests/resilience/"
+            )
+    # Reverse direction: the doc's catalog tables must not name ghosts.
+    doc_text = DOC_PATH.read_text()
+    table_names = set()
+    for line in doc_text.splitlines():
+        if line.startswith("| `"):
+            table_names.update(_BACKTICKED_RE.findall(line.split("|")[1]))
+    for name in sorted(table_names - set(catalog)):
+        problems.append(
+            f"{name}: listed in a docs/RESILIENCE.md catalog table but "
+            f"absent from the code catalog"
+        )
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    if problems:
+        print("\n".join(problems))
+        return 1
+    invariants, faults = _catalogs()
+    print(
+        f"ok: {len(invariants)} invariant classes + {len(faults)} fault "
+        f"classes documented and exercised"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,13 +32,31 @@ def cmd_simulate(args) -> int:
     from .telemetry import EventTracer
     from .workloads import get_workload
 
+    from .resilience import SimulationError, Watchdog
+
     workload = get_workload(args.workload, variant=args.variant, scale=args.scale)
     tracer = None
     if args.trace is not None:
         tracer = EventTracer(
             sample_interval=args.trace_interval, max_events=args.trace_events
         )
-    result = simulate(workload, args.mode, tracer=tracer)
+    watchdog = None
+    if args.watchdog_cycles is not None or args.crash_dir is not None:
+        kwargs = {"crash_dir": args.crash_dir}
+        if args.watchdog_cycles is not None:
+            kwargs["livelock_cycles"] = args.watchdog_cycles
+        watchdog = Watchdog(**kwargs)
+    try:
+        result = simulate(
+            workload,
+            args.mode,
+            tracer=tracer,
+            invariants=args.invariants,
+            watchdog=watchdog,
+        )
+    except SimulationError as exc:
+        print(f"simulation failed: {exc}", file=sys.stderr)
+        return 1
     print(result.stats.summary())
     if tracer is not None:
         jsonl_path = f"{args.trace}.jsonl"
@@ -127,6 +145,20 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="PATH",
         help="write a markdown run report to PATH (+ .json sibling)",
+    )
+    p.add_argument(
+        "--invariants",
+        choices=("off", "periodic", "full"),
+        default="off",
+        help="pipeline invariant audit cadence (docs/RESILIENCE.md)",
+    )
+    p.add_argument(
+        "--watchdog-cycles", type=int, default=None, metavar="N",
+        help="declare livelock after N cycles without a retirement",
+    )
+    p.add_argument(
+        "--crash-dir", default=None, metavar="DIR",
+        help="write a crash bundle to DIR when the run fails",
     )
 
     p = sub.add_parser("compare", help="train->annotate->evaluate comparison")

@@ -9,6 +9,28 @@ import time
 from . import EXPERIMENTS, run_experiment
 
 
+def run_sweep(args) -> int:
+    from ..workloads import suite_names
+    from .runner import SweepRunner
+
+    workloads = args.workloads.split(",") if args.workloads else suite_names()
+    runner = SweepRunner(
+        workloads=workloads,
+        modes=args.modes.split(","),
+        checkpoint_path=args.checkpoint,
+        scale=args.scale,
+        retries=args.retries,
+        timeout=args.timeout,
+        invariants=args.invariants,
+        crash_dir=args.crash_dir,
+        on_cell=lambda key, cell: print(f"  {key}: {cell['status']}", flush=True),
+    )
+    state = runner.run(resume=args.resume, retry_failed=args.retry_failed)
+    print(runner.summary())
+    failed = sum(1 for c in state["cells"].values() if c["status"] != "done")
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -16,8 +38,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="experiment id (paper table/figure), or 'all'",
+        choices=sorted(EXPERIMENTS) + ["all", "sweep"],
+        help="experiment id (paper table/figure), 'all', or 'sweep' "
+        "(resumable suite sweep; docs/RESILIENCE.md)",
     )
     parser.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
     parser.add_argument(
@@ -31,7 +54,43 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print markdown tables instead of aligned text",
     )
+    sweep = parser.add_argument_group("sweep options")
+    sweep.add_argument(
+        "--checkpoint", default="sweep_checkpoint.json", metavar="PATH",
+        help="checkpoint file for 'sweep' (one JSON cell per finished run)",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="resume 'sweep' from the checkpoint, re-running only unfinished cells",
+    )
+    sweep.add_argument(
+        "--retry-failed", action="store_true",
+        help="with --resume, also re-run cells recorded as failed",
+    )
+    sweep.add_argument(
+        "--modes", default="ooo,crisp",
+        help="comma-separated modes for 'sweep' (default: ooo,crisp)",
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=1,
+        help="retry budget for transient per-cell failures (default: 1)",
+    )
+    sweep.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per sweep cell",
+    )
+    sweep.add_argument(
+        "--invariants", choices=("off", "periodic", "full"), default="off",
+        help="invariant audit cadence for sweep cells",
+    )
+    sweep.add_argument(
+        "--crash-dir", default=None, metavar="DIR",
+        help="write crash bundles for failed sweep cells to DIR",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "sweep":
+        return run_sweep(args)
 
     names = [args.experiment] if args.experiment != "all" else sorted(EXPERIMENTS)
     for name in names:

@@ -38,7 +38,7 @@ def run(
         sim = simulate(
             ref,
             mode,
-            critical_pcs=flow.critical_pcs,
+            critical_pcs=flow.critical_pcs if mode == "crisp" else frozenset(),
             upc_window=window,
         )
         timelines[mode] = [count / window for count in sim.stats.upc_timeline]
@@ -71,7 +71,8 @@ def timelines(scale: float = 1.0, window: int = 64) -> dict[str, list[float]]:
     ref = build_pointer_chase("ref", scale)
     out = {}
     for mode in ("ooo", "crisp"):
-        sim = simulate(ref, mode, critical_pcs=flow.critical_pcs, upc_window=window)
+        crit = flow.critical_pcs if mode == "crisp" else frozenset()
+        sim = simulate(ref, mode, critical_pcs=crit, upc_window=window)
         out[mode] = [count / window for count in sim.stats.upc_timeline]
     return out
 

@@ -1,0 +1,251 @@
+"""Crash-safe resumable sweep runner.
+
+Full-suite sweeps (16 workloads x several modes at scale 1.0) run for a
+long time; a crash, an OOM kill, or a single pathological cell used to
+throw away every finished result. This runner checkpoints each
+(workload, mode) cell to JSON as soon as it finishes, so an interrupted
+sweep — including one killed with SIGKILL mid-cell — resumes with
+``--resume`` and re-simulates only the unfinished cells.
+
+Failure policy (docs/RESILIENCE.md):
+
+* **Hard failures** — :class:`~repro.resilience.errors.SimulationError`
+  and its subclasses (invariant violations, watchdog livelock, cycle
+  limit) — are recorded in the checkpoint with their message and the
+  sweep continues; partial results stay useful.
+* **Transient failures** — per-cell timeouts and ``OSError`` — are
+  retried up to ``retries`` times before being recorded as failed.
+* **Configuration errors** — ``ValueError`` (unknown mode, mislabeled
+  annotations) — propagate immediately: every cell would fail the same
+  way, so continuing is pointless.
+
+Checkpoint writes are atomic (temp file + ``os.replace``), so a kill at
+any instant leaves either the previous or the next consistent state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from ..resilience.errors import SimulationError
+
+CHECKPOINT_VERSION = 1
+
+#: Cell states recorded in the checkpoint.
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+
+class CellTimeout(TimeoutError):
+    """A single sweep cell exceeded its wall-clock budget."""
+
+
+@contextmanager
+def _alarm(seconds: float | None):
+    """Raise :class:`CellTimeout` after ``seconds`` (POSIX main thread only)."""
+    if not seconds or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise CellTimeout(f"cell exceeded {seconds}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def default_run_cell(
+    workload: str,
+    mode: str,
+    *,
+    scale: float,
+    invariants: str | None = None,
+    crash_dir: str | None = None,
+) -> dict:
+    """Simulate one (workload, mode) cell and return its result row."""
+    from ..core.fdo import run_crisp_flow
+    from ..sim.simulator import simulate
+    from ..workloads import get_workload
+
+    critical = frozenset()
+    if mode == "crisp":
+        critical = run_crisp_flow(workload, scale=scale).critical_pcs
+    ref = get_workload(workload, scale=scale)
+    result = simulate(
+        ref, mode, critical_pcs=critical, invariants=invariants, crash_dir=crash_dir
+    )
+    return {
+        "ipc": result.ipc,
+        "cycles": result.stats.cycles,
+        "retired": result.stats.retired,
+    }
+
+
+@dataclass
+class SweepRunner:
+    """Run a (workload x mode) sweep with per-cell checkpointing."""
+
+    workloads: list[str]
+    modes: list[str]
+    checkpoint_path: str
+    scale: float = 1.0
+    retries: int = 1
+    timeout: float | None = None
+    invariants: str | None = None
+    crash_dir: str | None = None
+    #: Injectable for tests; signature of :func:`default_run_cell`.
+    run_cell: object = None
+    #: Progress callback ``(key, cell_dict) -> None``; default prints.
+    on_cell: object = None
+    state: dict = field(default_factory=dict)
+
+    @staticmethod
+    def cell_key(workload: str, mode: str) -> str:
+        return f"{workload}/{mode}"
+
+    # -- checkpoint ----------------------------------------------------------
+
+    def _fresh_state(self) -> dict:
+        return {
+            "version": CHECKPOINT_VERSION,
+            "scale": self.scale,
+            "workloads": list(self.workloads),
+            "modes": list(self.modes),
+            "cells": {},
+        }
+
+    def load_checkpoint(self) -> dict:
+        with open(self.checkpoint_path) as handle:
+            state = json.load(handle)
+        if state.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint {self.checkpoint_path} has version "
+                f"{state.get('version')!r}, expected {CHECKPOINT_VERSION}"
+            )
+        if state.get("scale") != self.scale:
+            raise ValueError(
+                f"checkpoint {self.checkpoint_path} was taken at scale "
+                f"{state.get('scale')}, not {self.scale}; results would mix"
+            )
+        return state
+
+    def save_checkpoint(self) -> None:
+        """Atomically persist the current state (temp file + rename)."""
+        directory = os.path.dirname(os.path.abspath(self.checkpoint_path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self.state, handle, indent=1, sort_keys=True)
+            os.replace(tmp, self.checkpoint_path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # -- execution -----------------------------------------------------------
+
+    def pending_cells(self, *, retry_failed: bool = False) -> list[tuple[str, str]]:
+        """Cells still to run, in deterministic (workload, mode) order."""
+        cells = self.state.get("cells", {})
+        pending = []
+        for workload in self.workloads:
+            for mode in self.modes:
+                cell = cells.get(self.cell_key(workload, mode))
+                if cell is None:
+                    pending.append((workload, mode))
+                elif cell["status"] == STATUS_FAILED and retry_failed:
+                    pending.append((workload, mode))
+        return pending
+
+    def _execute(self, workload: str, mode: str) -> dict:
+        run_cell = self.run_cell or default_run_cell
+        return run_cell(
+            workload,
+            mode,
+            scale=self.scale,
+            invariants=self.invariants,
+            crash_dir=self.crash_dir,
+        )
+
+    def run(self, *, resume: bool = False, retry_failed: bool = False) -> dict:
+        """Run every pending cell; returns the final checkpoint state."""
+        if resume and os.path.exists(self.checkpoint_path):
+            self.state = self.load_checkpoint()
+        else:
+            self.state = self._fresh_state()
+            self.save_checkpoint()
+        for workload, mode in self.pending_cells(retry_failed=retry_failed):
+            key = self.cell_key(workload, mode)
+            cell = {"status": STATUS_FAILED, "attempts": 0}
+            attempts_left = self.retries + 1
+            while attempts_left:
+                attempts_left -= 1
+                cell["attempts"] += 1
+                try:
+                    with _alarm(self.timeout):
+                        row = self._execute(workload, mode)
+                except SimulationError as exc:
+                    # Hard failure: record (with any crash-bundle path) and
+                    # move on — one bad cell must not sink the sweep.
+                    cell["error"] = str(exc)
+                    cell["error_type"] = type(exc).__name__
+                    if exc.bundle_path:
+                        cell["crash_bundle"] = str(exc.bundle_path)
+                    break
+                except (CellTimeout, OSError) as exc:
+                    # Transient: retry until the budget runs out.
+                    cell["error"] = str(exc)
+                    cell["error_type"] = type(exc).__name__
+                    if attempts_left:
+                        continue
+                    break
+                else:
+                    cell.update(row)
+                    cell["status"] = STATUS_DONE
+                    cell.pop("error", None)
+                    cell.pop("error_type", None)
+                    break
+            self.state["cells"][key] = cell
+            self.save_checkpoint()
+            if self.on_cell is not None:
+                self.on_cell(key, cell)
+        return self.state
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> str:
+        cells = self.state.get("cells", {})
+        done = sum(1 for c in cells.values() if c["status"] == STATUS_DONE)
+        failed = sum(1 for c in cells.values() if c["status"] == STATUS_FAILED)
+        total = len(self.workloads) * len(self.modes)
+        lines = [
+            f"sweep: {done}/{total} cells done, {failed} failed "
+            f"(checkpoint: {self.checkpoint_path})"
+        ]
+        for workload in self.workloads:
+            for mode in self.modes:
+                cell = cells.get(self.cell_key(workload, mode))
+                if cell is None:
+                    lines.append(f"  {workload:14s} {mode:10s} pending")
+                elif cell["status"] == STATUS_DONE:
+                    lines.append(
+                        f"  {workload:14s} {mode:10s} IPC {cell['ipc']:.3f} "
+                        f"({cell['cycles']} cycles)"
+                    )
+                else:
+                    lines.append(
+                        f"  {workload:14s} {mode:10s} FAILED "
+                        f"[{cell.get('error_type', '?')}] {cell.get('error', '')}"
+                    )
+        return "\n".join(lines)

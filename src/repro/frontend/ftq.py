@@ -16,6 +16,11 @@ class FetchTargetQueue:
     def __init__(self, entries: int = 128):
         self.entries = entries
         self._queue: deque[int] = deque()
+        # Conservation counters: len == pushed - popped - flushed always
+        # holds (the ftq_conservation invariant; docs/RESILIENCE.md).
+        self.pushed = 0
+        self.popped = 0
+        self.flushed = 0
 
     @property
     def full(self) -> bool:
@@ -29,12 +34,17 @@ class FetchTargetQueue:
         if self._queue and self._queue[-1] == line_addr:
             return True
         self._queue.append(line_addr)
+        self.pushed += 1
         return True
 
     def pop(self) -> int | None:
-        return self._queue.popleft() if self._queue else None
+        if not self._queue:
+            return None
+        self.popped += 1
+        return self._queue.popleft()
 
     def flush(self) -> None:
+        self.flushed += len(self._queue)
         self._queue.clear()
 
     def __len__(self) -> int:

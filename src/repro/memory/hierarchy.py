@@ -68,6 +68,9 @@ class MemoryHierarchy:
         # line -> completion cycle for in-flight prefetches and I-misses.
         self._pending_pf: dict[int, int] = {}
         self._pending_inst: dict[int, int] = {}
+        # Timestamp of the latest lazy-fill sweep: an MSHR entry whose
+        # completion lies behind this has leaked (the mshr_leak invariant).
+        self.last_advance = 0
 
     # -- helpers ---------------------------------------------------------------
 
@@ -76,6 +79,8 @@ class MemoryHierarchy:
 
     def _advance(self, now: int) -> None:
         """Apply all fills that completed at or before ``now``."""
+        if now > self.last_advance:
+            self.last_advance = now
         for line in self.mshr.expire(now):
             self.l1d.fill(line)
             self.llc.fill(line)

@@ -1,0 +1,58 @@
+"""Resilience layer: invariant checking, watchdog, faults, crash bundles.
+
+Four pieces (user guide: docs/RESILIENCE.md):
+
+* :mod:`repro.resilience.invariants` -- structural pipeline audits at a
+  configurable cadence (``--invariants=off|periodic|full``),
+* :mod:`repro.resilience.watchdog` -- no-retire livelock detection that
+  replaces the blunt ``max_cycles`` abort and writes crash bundles,
+* :mod:`repro.resilience.faults` -- deterministic fault injection used by
+  ``tests/resilience`` to prove each fault class is actually caught,
+* :mod:`repro.resilience.crash_bundle` -- JSON post-mortems (registry
+  snapshot, trace tail, stall attribution, config, run context).
+
+The resumable experiment runner built on top of this layer lives in
+:mod:`repro.experiments.runner`.
+
+Nothing here imports :mod:`repro.uarch` at module level — the pipeline
+imports *us*, and the audits are duck-typed against its structures.
+"""
+
+from __future__ import annotations
+
+from .crash_bundle import (
+    BUNDLE_VERSION,
+    build_bundle,
+    bundle_from_pipeline,
+    load_crash_bundle,
+    write_crash_bundle,
+)
+from .errors import DeadlockError, InvariantViolation, SimulationError
+from .faults import FAULT_CLASSES, FaultInjector, inject
+from .invariants import (
+    INVARIANT_CLASSES,
+    InvariantChecker,
+    audit_age_matrix,
+    check_age_matrix,
+)
+from .watchdog import DEFAULT_LIVELOCK_CYCLES, Watchdog
+
+__all__ = [
+    "BUNDLE_VERSION",
+    "DEFAULT_LIVELOCK_CYCLES",
+    "DeadlockError",
+    "FAULT_CLASSES",
+    "FaultInjector",
+    "INVARIANT_CLASSES",
+    "InvariantChecker",
+    "InvariantViolation",
+    "SimulationError",
+    "Watchdog",
+    "audit_age_matrix",
+    "build_bundle",
+    "bundle_from_pipeline",
+    "check_age_matrix",
+    "inject",
+    "load_crash_bundle",
+    "write_crash_bundle",
+]

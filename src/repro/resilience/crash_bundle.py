@@ -1,0 +1,156 @@
+"""Crash bundles: one self-contained JSON post-mortem per wedged run.
+
+When the watchdog (or an invariant audit) kills a run, the interesting
+state is about to be garbage-collected with the pipeline. A crash bundle
+freezes it to disk first: the full stats-registry snapshot, the tail of
+the event trace (when a tracer was attached), a ``diagnose``-style stall
+attribution, the core configuration, and the run context (workload, mode,
+variant, seed) — everything needed to post-mortem a multi-hour sweep cell
+without re-simulating it.
+
+Bundles are plain JSON (one file per crash, named by reason and cycle) so
+they are greppable and loadable anywhere; :func:`load_crash_bundle` is the
+inverse of :func:`write_crash_bundle`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+
+#: Bundle schema version (bump on incompatible layout changes).
+BUNDLE_VERSION = 1
+
+#: How many trailing tracer events a bundle keeps.
+DEFAULT_EVENT_TAIL = 512
+
+
+def build_bundle(
+    *,
+    reason: str,
+    message: str,
+    cycle: int,
+    retired: int,
+    total: int,
+    config=None,
+    registry=None,
+    stats=None,
+    tracer=None,
+    occupancy: dict | None = None,
+    context: dict | None = None,
+    event_tail: int = DEFAULT_EVENT_TAIL,
+) -> dict:
+    """Assemble a crash-bundle dict from whatever the failing run has."""
+    bundle: dict = {
+        "version": BUNDLE_VERSION,
+        "reason": reason,
+        "message": message,
+        "cycle": cycle,
+        "retired": retired,
+        "total": total,
+        "context": dict(context or {}),
+    }
+    if config is not None:
+        bundle["config"] = _jsonable(dataclasses.asdict(config))
+    if occupancy is not None:
+        bundle["occupancy"] = dict(occupancy)
+    if registry is not None:
+        bundle["registry"] = registry.snapshot()
+    if stats is not None:
+        # Stall attribution + the worst stall PCs: the diagnose-style view
+        # of where the wedged run's cycles went. ``stats.cycles`` is only
+        # set at the end of a successful run, so fractions are computed
+        # against the failure cycle instead.
+        from ..telemetry.report import stall_attribution, top_stall_pcs
+
+        denominator = cycle or 1
+        bundle["stall_attribution"] = [
+            {"source": label, "cycles": cycles, "fraction": cycles / denominator}
+            for label, cycles, _ in stall_attribution(stats)
+        ]
+        bundle["top_stall_pcs"] = [
+            {"pc": pc, "cycles": cycles, "fraction": cycles / denominator}
+            for pc, cycles, _ in top_stall_pcs(stats)
+        ]
+    if tracer is not None:
+        bundle["trace_tail"] = list(tracer.events[-event_tail:])
+        bundle["trace_samples_tail"] = list(tracer.samples[-16:])
+        bundle["trace_dropped"] = tracer.dropped
+    return bundle
+
+
+def bundle_from_pipeline(pipeline, *, reason: str, message: str, cycle: int,
+                         retired: int, total: int) -> dict:
+    """Bundle builder for a :class:`~repro.uarch.pipeline.Pipeline`."""
+    return build_bundle(
+        reason=reason,
+        message=message,
+        cycle=cycle,
+        retired=retired,
+        total=total,
+        config=pipeline.config,
+        registry=getattr(pipeline, "telemetry", None),
+        stats=getattr(pipeline, "stats", None),
+        tracer=getattr(pipeline, "tracer", None),
+        occupancy={
+            "rob": len(pipeline.rob),
+            "sched_ready": len(pipeline.scheduler),
+            "lsq_loads": pipeline.lsq.load_occupancy,
+            "lsq_stores": pipeline.lsq.store_occupancy,
+            "mshr": pipeline.hierarchy.mshr.occupancy(),
+            "ftq": len(pipeline.ftq),
+        },
+        context=getattr(pipeline, "run_context", None),
+    )
+
+
+def write_crash_bundle(crash_dir: str, bundle: dict) -> str:
+    """Write ``bundle`` under ``crash_dir``; returns the file path.
+
+    The write is atomic (temp file + rename) so a crash bundle can never
+    itself be half-written, and the filename encodes reason + cycle so a
+    directory of bundles sorts usefully.
+    """
+    os.makedirs(crash_dir, exist_ok=True)
+    name = "crash-{reason}-c{cycle}".format(
+        reason=bundle.get("reason", "unknown"), cycle=bundle.get("cycle", 0)
+    )
+    workload = bundle.get("context", {}).get("workload")
+    if workload:
+        name += f"-{workload}"
+    path = os.path.join(crash_dir, name + ".json")
+    fd, tmp = tempfile.mkstemp(dir=crash_dir, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(bundle, handle, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+def load_crash_bundle(path: str) -> dict:
+    """Load a bundle written by :func:`write_crash_bundle`."""
+    with open(path) as handle:
+        bundle = json.load(handle)
+    if bundle.get("version") != BUNDLE_VERSION:
+        raise ValueError(
+            f"{path}: bundle version {bundle.get('version')!r}, "
+            f"expected {BUNDLE_VERSION}"
+        )
+    return bundle
+
+
+def _jsonable(value):
+    """Best-effort conversion of config values to JSON-encodable forms."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

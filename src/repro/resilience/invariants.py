@@ -1,0 +1,330 @@
+"""Pipeline invariant checker: structural audits at a configurable cadence.
+
+A silent structural bug in the cycle model — a leaked MSHR, a wakeup that
+never fires, an age-matrix inversion — corrupts every figure downstream
+while still producing a plausible-looking ``SimResult``. The checker turns
+such bugs into a structured :class:`~repro.resilience.errors.InvariantViolation`
+at the first audit after the corruption, instead of a wrong number (or a
+``max_cycles`` abort millions of cycles later).
+
+Audits are pull-based: the pipeline calls :meth:`InvariantChecker.audit`
+with references to its live structures at the end of a cycle, when the
+state is self-consistent. With the checker disabled (the default) the run
+loop contains no audit code path at all, so default-mode results are
+byte-identical to a checker-free build.
+
+:data:`INVARIANT_CLASSES` is the catalog contract: every key must be
+documented in ``docs/RESILIENCE.md`` and exercised by at least one
+fault-injection test under ``tests/resilience/`` — enforced by
+``scripts/check_invariant_catalog.py``.
+"""
+
+from __future__ import annotations
+
+from .errors import InvariantViolation
+
+#: Invariant-class catalog: name -> what must hold (and why it does).
+INVARIANT_CLASSES = {
+    "rob_order": (
+        "the ROB holds exactly the contiguous sequence range "
+        "[retired, retired+occupancy): allocation and retirement are both "
+        "in program order, so entries are conserved and retire in order"
+    ),
+    "rob_capacity": "ROB occupancy never exceeds its configured entry count",
+    "rs_accounting": (
+        "reservation-station entries are conserved: every held entry is "
+        "either waiting on producers (dep_count) or sitting in the "
+        "scheduler's ready pool — RS entries free exactly at issue"
+    ),
+    "scheduler_ready": (
+        "the scheduler's ready pool is consistent: its size matches its "
+        "per-FU heaps, and every ready instruction is in-flight (not yet "
+        "retired) with a policy key matching its criticality tag"
+    ),
+    "lsq_consistency": (
+        "load/store buffer occupancies are within capacity and every "
+        "buffered entry is still in the ROB (LB/SB release at retirement)"
+    ),
+    "ftq_conservation": (
+        "FTQ length equals pushes minus pops minus flushed entries, and "
+        "never exceeds capacity — entries cannot vanish or duplicate"
+    ),
+    "mshr_leak": (
+        "every allocated MSHR eventually fills: no pending entry's "
+        "completion lies behind the hierarchy's last lazy-fill sweep "
+        "(leak), and none lies implausibly far in the future (stuck)"
+    ),
+    "age_matrix_order": (
+        "the age matrix encodes a strict total order on occupied slots: "
+        "no self-age bit, exactly one direction set per slot pair, and "
+        "ready/critical bits only on occupied slots"
+    ),
+}
+
+#: Audit cadences accepted by :meth:`InvariantChecker.from_mode`.
+MODES = ("off", "periodic", "full")
+
+
+class InvariantChecker:
+    """Audits a :class:`~repro.uarch.pipeline.Pipeline`'s structures.
+
+    Parameters
+    ----------
+    interval:
+        Cycles between audits (1 = every cycle, i.e. ``full`` mode).
+    mshr_stuck_cycles:
+        A pending MSHR whose completion lies more than this many cycles in
+        the future is reported as stuck ("never fills"). Must comfortably
+        exceed the worst-case DRAM round trip under full queueing.
+    """
+
+    def __init__(self, interval: int = 8192, *, mshr_stuck_cycles: int = 1_000_000):
+        if interval < 1:
+            raise ValueError("audit interval must be >= 1")
+        self.interval = interval
+        self.mshr_stuck_cycles = mshr_stuck_cycles
+        self.audits = 0
+
+    @classmethod
+    def from_mode(cls, mode: str, **kw) -> "InvariantChecker | None":
+        """Build a checker from a CLI-style mode string (None for ``off``)."""
+        if mode is None or mode == "off":
+            return None
+        if mode == "periodic":
+            return cls(**kw)
+        if mode == "full":
+            kw.setdefault("interval", 1)
+            return cls(**kw)
+        raise ValueError(f"unknown invariants mode {mode!r}; known: {MODES}")
+
+    # -- audit entry points ---------------------------------------------------
+
+    def audit(
+        self,
+        pipeline,
+        now: int,
+        *,
+        retired: int,
+        rs_used: int,
+        dep_count: dict,
+        waiters: dict,
+        done: set,
+    ) -> None:
+        """One full structural audit; raises :class:`InvariantViolation`.
+
+        Called by the pipeline at the end of a cycle (post-fetch), when all
+        in-flight bookkeeping is self-consistent.
+        """
+        self.audits += 1
+        fail = self._failer(pipeline, now)
+
+        # rob_order + rob_capacity: allocation and retirement are both in
+        # program order, so the ROB must hold exactly [retired, retired+k).
+        rob = pipeline.rob
+        occupancy = len(rob)
+        if occupancy > rob.entries:
+            fail("rob_capacity", f"{occupancy} entries in a {rob.entries}-entry ROB")
+        expected = retired
+        for seq in rob._queue:
+            if seq != expected:
+                fail(
+                    "rob_order",
+                    f"ROB entry {seq} where {expected} was expected "
+                    f"(retired={retired}, occupancy={occupancy})",
+                )
+            expected += 1
+
+        # rs_accounting: an RS entry is held from dispatch to issue, and an
+        # in-flight instruction is either waiting on producers or ready.
+        sched = pipeline.scheduler
+        waiting = len(dep_count)
+        ready = len(sched)
+        if rs_used != waiting + ready:
+            fail(
+                "rs_accounting",
+                f"{rs_used} RS entries held but {waiting} waiting + {ready} "
+                f"ready accounted for (a wakeup was lost or double-fired)",
+            )
+        if not 0 <= rs_used <= pipeline.config.rs_entries:
+            fail(
+                "rs_accounting",
+                f"rs_used={rs_used} outside [0, {pipeline.config.rs_entries}]",
+            )
+
+        # scheduler_ready: heap sizes vs the tracked size, and per-entry
+        # sanity (in-flight, key consistent with the policy).
+        heap_total = sum(len(h) for h in sched._heaps.values())
+        if heap_total != ready:
+            fail(
+                "scheduler_ready",
+                f"scheduler size {ready} != heap contents {heap_total}",
+            )
+        crisp = sched.policy == "crisp"
+        for heap in sched._heaps.values():
+            for key, seq, crit in heap:
+                if seq < retired:
+                    fail(
+                        "scheduler_ready",
+                        f"retired instruction {seq} still in the ready pool",
+                    )
+                if seq in done:
+                    fail(
+                        "scheduler_ready",
+                        f"completed instruction {seq} still in the ready pool",
+                    )
+                expected_key = 0 if (crisp and crit) else 1
+                if key != expected_key:
+                    fail(
+                        "scheduler_ready",
+                        f"entry {seq} has key {key}, expected {expected_key} "
+                        f"(policy={sched.policy}, critical={bool(crit)})",
+                    )
+
+        # lsq_consistency: capacity plus membership in the ROB window.
+        lsq = pipeline.lsq
+        rob_end = retired + occupancy
+        for label, entries, cap in (
+            ("load buffer", lsq._loads, lsq.load_entries),
+            ("store buffer", lsq._stores, lsq.store_entries),
+        ):
+            if len(entries) > cap:
+                fail("lsq_consistency", f"{label} holds {len(entries)} > {cap}")
+            for seq in entries:
+                if not retired <= seq < rob_end:
+                    fail(
+                        "lsq_consistency",
+                        f"{label} entry {seq} outside the ROB window "
+                        f"[{retired}, {rob_end}) — release at retire missed",
+                    )
+
+        # ftq_conservation: entries cannot vanish (lost prefetch coverage)
+        # or duplicate; requires the FTQ's push/pop/flush counters.
+        ftq = pipeline.ftq
+        expected_len = ftq.pushed - ftq.popped - ftq.flushed
+        if len(ftq) != expected_len:
+            fail(
+                "ftq_conservation",
+                f"FTQ holds {len(ftq)} entries but pushed-popped-flushed = "
+                f"{ftq.pushed}-{ftq.popped}-{ftq.flushed} = {expected_len}",
+            )
+        if len(ftq) > ftq.entries:
+            fail("ftq_conservation", f"FTQ holds {len(ftq)} > {ftq.entries}")
+
+        self._audit_mshrs(pipeline, now, fail)
+
+        # waiters agreement: a producer with a wait list must still be
+        # outstanding — its completion is what pops the list (this is the
+        # dependence-tracking analogue of rename-map/ROB agreement).
+        for producer in waiters:
+            if producer < retired or producer in done:
+                fail(
+                    "rs_accounting",
+                    f"producer {producer} completed but its waiters were "
+                    f"never woken",
+                )
+
+    def final_audit(self, pipeline, now: int, *, retired: int, rs_used: int) -> None:
+        """End-of-run audit: everything must have drained."""
+        self.audits += 1
+        fail = self._failer(pipeline, now)
+        if len(pipeline.rob):
+            fail("rob_order", f"{len(pipeline.rob)} ROB entries after full retire")
+        if rs_used or len(pipeline.scheduler):
+            fail(
+                "rs_accounting",
+                f"{rs_used} RS entries / {len(pipeline.scheduler)} ready "
+                f"instructions left after full retire",
+            )
+        if pipeline.lsq.load_occupancy or pipeline.lsq.store_occupancy:
+            fail(
+                "lsq_consistency",
+                f"LB={pipeline.lsq.load_occupancy} SB="
+                f"{pipeline.lsq.store_occupancy} entries left after full retire",
+            )
+        self._audit_mshrs(pipeline, now, fail)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _audit_mshrs(self, pipeline, now: int, fail) -> None:
+        mshr = pipeline.hierarchy.mshr
+        if mshr.occupancy() > mshr.num_entries:
+            fail(
+                "mshr_leak",
+                f"{mshr.occupancy()} pending entries in a "
+                f"{mshr.num_entries}-entry MSHR file",
+            )
+        # Fills are applied lazily, so completion <= now alone is not a
+        # leak; completion behind the last lazy-fill sweep is — expire()
+        # must have removed it then.
+        swept = pipeline.hierarchy.last_advance
+        for line, completion in mshr._pending.items():
+            if completion < swept:
+                fail(
+                    "mshr_leak",
+                    f"MSHR for line {line:#x} filled at {completion} but "
+                    f"survived the lazy-fill sweep at {swept} (leak)",
+                )
+            if completion > now + self.mshr_stuck_cycles:
+                fail(
+                    "mshr_leak",
+                    f"MSHR for line {line:#x} completes at {completion}, "
+                    f"more than {self.mshr_stuck_cycles} cycles past "
+                    f"{now} (stuck — will never fill)",
+                )
+
+    def _failer(self, pipeline, now: int):
+        def fail(invariant: str, detail: str) -> None:
+            registry = getattr(pipeline, "telemetry", None)
+            raise InvariantViolation(
+                invariant,
+                detail,
+                cycle=now,
+                snapshot=registry.snapshot() if registry is not None else None,
+            )
+
+        return fail
+
+
+def check_age_matrix(am) -> list[str]:
+    """Audit an :class:`~repro.uarch.age_matrix.AgeMatrix`; return problems.
+
+    The age relation must be a strict total order on occupied slots: for
+    every occupied pair (i, j) exactly one of "i older than j" / "j older
+    than i" holds (the later insert snapshots the earlier as older, and
+    removal clears the departed column), and no slot is its own elder.
+    Ready/critical bits may only be set on occupied slots.
+    """
+    problems: list[str] = []
+    occupied = [s for s in range(am.num_slots) if (am._occupied >> s) & 1]
+    occ_set = set(occupied)
+    for s in occupied:
+        mask = am._age_mask[s]
+        if (mask >> s) & 1:
+            problems.append(f"slot {s} marks itself as older (self-age bit)")
+        for t in range(am.num_slots):
+            if (mask >> t) & 1 and t not in occ_set:
+                problems.append(f"slot {s} claims empty slot {t} as older")
+    for i in occupied:
+        for j in occupied:
+            if i >= j:
+                continue
+            i_old = (am._age_mask[j] >> i) & 1  # i older than j
+            j_old = (am._age_mask[i] >> j) & 1  # j older than i
+            if i_old and j_old:
+                problems.append(f"slots {i} and {j} each claim the other is older")
+            if not i_old and not j_old:
+                problems.append(f"slots {i} and {j} have no age ordering")
+    for label, vector in (("ready", am._ready), ("critical", am._critical)):
+        stray = vector & ~am._occupied
+        if stray:
+            problems.append(f"{label} bits set on empty slots (mask {stray:#x})")
+    return problems
+
+
+def audit_age_matrix(am, *, cycle: int = 0) -> None:
+    """Raise :class:`InvariantViolation` if :func:`check_age_matrix` finds any."""
+    problems = check_age_matrix(am)
+    if problems:
+        raise InvariantViolation(
+            "age_matrix_order", "; ".join(problems), cycle=cycle
+        )

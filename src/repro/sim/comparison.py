@@ -79,7 +79,9 @@ def compare_workload(
             ref,
             mode,
             config=config,
-            critical_pcs=crisp_result.critical_pcs,
+            # Annotations only apply in crisp mode; simulate() rejects them
+            # elsewhere to catch mislabeled sweeps.
+            critical_pcs=crisp_result.critical_pcs if mode == "crisp" else frozenset(),
             upc_window=upc_window,
         )
     return comparison

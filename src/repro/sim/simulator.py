@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.ibda import make_ibda
+from ..resilience.watchdog import Watchdog
 from ..telemetry.registry import StatsRegistry
 from ..telemetry.report import RunReport, build_report
 from ..telemetry.tracer import EventTracer
@@ -54,6 +55,9 @@ def simulate(
     critical_pcs: frozenset[int] = frozenset(),
     upc_window: int = 0,
     tracer: EventTracer | None = None,
+    invariants: str | None = None,
+    watchdog: Watchdog | None = None,
+    crash_dir: str | None = None,
 ) -> SimResult:
     """Run ``workload`` in ``mode`` and return the result.
 
@@ -61,12 +65,29 @@ def simulate(
     annotation produced by the FDO flow on the train input. The binary is
     laid out with the one-byte prefix on those instructions, so i-cache
     effects of the annotation are part of the measurement (Section 5.7).
+    Passing annotations in any other mode raises :class:`ValueError` —
+    they would be silently ignored, which almost always means a mislabeled
+    sweep.
 
     Pass an :class:`~repro.telemetry.tracer.EventTracer` to stream pipeline
     events (and populate the latency/delay histograms) during the run.
+
+    Resilience knobs (docs/RESILIENCE.md): ``invariants`` selects the audit
+    cadence (``"off"``/``"periodic"``/``"full"``; default off), ``watchdog``
+    overrides livelock/cycle limits, and ``crash_dir`` makes failures write
+    a crash bundle there (shorthand for a watchdog with that directory).
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; known: {MODES}")
+    if critical_pcs and mode != "crisp":
+        raise ValueError(
+            f"critical_pcs passed in mode {mode!r}: annotations are only "
+            "consumed in 'crisp' mode; this usually means a mislabeled sweep"
+        )
+    if watchdog is None and crash_dir is not None:
+        watchdog = Watchdog(crash_dir=crash_dir)
+    run_context = {"workload": workload.name, "mode": mode}
+    resilience = dict(invariants=invariants, watchdog=watchdog, run_context=run_context)
     config = config or CoreConfig.skylake()
     trace = workload.trace()
     if mode == "ooo":
@@ -75,6 +96,7 @@ def simulate(
             config.with_scheduler("oldest_first"),
             upc_window=upc_window,
             tracer=tracer,
+            **resilience,
         )
         used = frozenset()
     elif mode == "crisp":
@@ -84,6 +106,7 @@ def simulate(
             critical_pcs=critical_pcs,
             upc_window=upc_window,
             tracer=tracer,
+            **resilience,
         )
         used = frozenset(critical_pcs)
     else:
@@ -94,6 +117,7 @@ def simulate(
             ibda=make_ibda(size),
             upc_window=upc_window,
             tracer=tracer,
+            **resilience,
         )
         used = frozenset()
     stats = pipeline.run()

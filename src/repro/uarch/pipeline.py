@@ -42,6 +42,10 @@ from ..isa.emulator import ExecutionTrace
 from ..isa.opcodes import FuClass, Opcode
 from ..isa.program import CodeLayout
 from ..memory.hierarchy import MemoryHierarchy
+from ..resilience.crash_bundle import bundle_from_pipeline
+from ..resilience.errors import DeadlockError, InvariantViolation, SimulationError
+from ..resilience.invariants import InvariantChecker
+from ..resilience.watchdog import Watchdog
 from ..telemetry.registry import StatsRegistry
 from ..telemetry.tracer import EventTracer
 from .config import CoreConfig
@@ -51,9 +55,7 @@ from .rob import ReorderBuffer
 from .scheduler import Scheduler
 from .stats import SimStats
 
-
-class SimulationError(Exception):
-    """Raised when the pipeline wedges (cycle-limit exceeded)."""
+__all__ = ["Pipeline", "SimulationError", "DeadlockError", "InvariantViolation"]
 
 
 class Pipeline:
@@ -70,6 +72,9 @@ class Pipeline:
         upc_window: int = 0,
         record_timing: bool = False,
         tracer: EventTracer | None = None,
+        invariants: InvariantChecker | str | None = None,
+        watchdog: Watchdog | None = None,
+        run_context: dict | None = None,
     ):
         self.trace = trace
         self.config = config or CoreConfig()
@@ -109,6 +114,18 @@ class Pipeline:
         # tracer's interval.
         self.telemetry = StatsRegistry()
         self._gauges = self._register_telemetry()
+        # Resilience: structural audits (off unless requested) + the
+        # progress watchdog that replaces the raw cycle-limit abort. See
+        # docs/RESILIENCE.md.
+        if isinstance(invariants, str):
+            invariants = InvariantChecker.from_mode(invariants)
+        self.invariants = invariants
+        self.watchdog = watchdog if watchdog is not None else Watchdog()
+        self.run_context = dict(run_context or {})
+
+    def _bundle(self, **kw) -> dict:
+        """Crash-bundle builder handed to the watchdog on failure."""
+        return bundle_from_pipeline(self, **kw)
 
     def _register_telemetry(self) -> dict:
         reg = self.telemetry
@@ -226,8 +243,15 @@ class Pipeline:
         layout_addr = self.layout.addresses
         layout_size = self.layout.sizes
         line_mask = ~(self.hierarchy.config.line_bytes - 1)
+        watchdog = self.watchdog
+        if max_cycles is None:
+            max_cycles = watchdog.max_cycles
         if max_cycles is None:
             max_cycles = 600 * n + 100_000
+        livelock_limit = watchdog.livelock_cycles
+        last_progress = 0
+        checker = self.invariants
+        next_audit = checker.interval if checker is not None else 0
 
         decode_queue: deque[int] = deque()
         events: list[tuple[int, int]] = []  # (completion cycle, seq)
@@ -259,8 +283,14 @@ class Pipeline:
 
         while retired < n:
             if now >= max_cycles:
-                raise SimulationError(
-                    f"cycle limit {max_cycles} exceeded (retired {retired}/{n})"
+                raise watchdog.cycle_limit_exceeded(
+                    self._bundle, now=now, max_cycles=max_cycles,
+                    retired=retired, total=n,
+                )
+            if now - last_progress >= livelock_limit:
+                raise watchdog.livelock_detected(
+                    self._bundle, now=now, last_progress=last_progress,
+                    retired=retired, total=n,
                 )
 
             # 1. Completion events -> wakeup.
@@ -307,6 +337,7 @@ class Pipeline:
                 critical_flag.pop(seq, None)
                 retired += 1
                 window_retired += 1
+                last_progress = now
                 if tracer is not None:
                     tracer.retire(now, seq, insts[seq].pc)
 
@@ -517,6 +548,20 @@ class Pipeline:
                     )
                 if pending_redirect is not None or fetch_blocked_until > now + 1:
                     stats.fetch_stall_cycles += idle
+            if checker is not None and now >= next_audit:
+                # End-of-cycle is the one point where the in-flight
+                # bookkeeping (RS/ready/waiters/done) is self-consistent.
+                try:
+                    checker.audit(
+                        self, now, retired=retired, rs_used=rs_used,
+                        dep_count=dep_count, waiters=waiters, done=done,
+                    )
+                except InvariantViolation as violation:
+                    raise watchdog.attach_bundle(
+                        violation, self._bundle, now=now, retired=retired,
+                        total=n,
+                    ) from None
+                next_audit = now + checker.interval
             if tracer is not None and now >= next_sample:
                 occupancy = {
                     "rob": len(rob),
@@ -538,6 +583,13 @@ class Pipeline:
                     window_retired = 0
                     next_window_end += self.upc_window
 
+        if checker is not None:
+            try:
+                checker.final_audit(self, now, retired=retired, rs_used=rs_used)
+            except InvariantViolation as violation:
+                raise watchdog.attach_bundle(
+                    violation, self._bundle, now=now, retired=retired, total=n,
+                ) from None
         stats.cycles = now
         stats.retired = retired
         self._finalize()

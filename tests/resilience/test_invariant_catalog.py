@@ -1,0 +1,32 @@
+"""docs/RESILIENCE.md + tests must cover the whole resilience catalog.
+
+Runs the same check as ``scripts/check_invariant_catalog.py`` so the
+doc/test-sync lint is part of tier-1: adding an invariant or fault class
+without documenting it (or without a test exercising it) fails here.
+"""
+
+import importlib.util
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SCRIPT = REPO_ROOT / "scripts" / "check_invariant_catalog.py"
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location("check_invariant_catalog", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_resilience_catalog_in_sync():
+    checker = load_checker()
+    problems = checker.check()
+    assert problems == [], "\n".join(problems)
+
+
+def test_catalog_is_nonempty():
+    from repro.resilience import FAULT_CLASSES, INVARIANT_CLASSES
+
+    assert len(INVARIANT_CLASSES) >= 8
+    assert len(FAULT_CLASSES) >= 4

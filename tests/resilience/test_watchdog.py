@@ -1,0 +1,120 @@
+"""Watchdog + crash bundles: cycle limit, livelock, SMT, bundle contents."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.resilience import (
+    DeadlockError,
+    FaultInjector,
+    SimulationError,
+    Watchdog,
+    load_crash_bundle,
+)
+from repro.uarch.pipeline import Pipeline
+from repro.uarch.smt import SmtPipeline
+from repro.workloads import get_workload
+
+
+def test_cycle_limit_message_reports_progress(mcf_trace):
+    """The abort message must say how far the run got (satellite check)."""
+    pipe = Pipeline(mcf_trace)
+    with pytest.raises(SimulationError) as exc_info:
+        pipe.run(max_cycles=50)
+    message = str(exc_info.value)
+    match = re.search(r"cycle limit 50 exceeded \(retired (\d+)/(\d+)\)", message)
+    assert match, message
+    assert int(match.group(2)) == len(mcf_trace)
+    assert not isinstance(exc_info.value, DeadlockError)
+
+
+def test_cycle_limit_writes_loadable_bundle(tmp_path, mcf_trace):
+    pipe = Pipeline(
+        mcf_trace,
+        watchdog=Watchdog(crash_dir=str(tmp_path)),
+        run_context={"workload": "mcf", "mode": "ooo"},
+    )
+    with pytest.raises(SimulationError) as exc_info:
+        pipe.run(max_cycles=50)
+    path = exc_info.value.bundle_path
+    assert path is not None and str(tmp_path) in str(path)
+    assert str(path) in str(exc_info.value)
+    bundle = load_crash_bundle(path)
+    assert bundle["reason"] == "cycle_limit"
+    assert bundle["cycle"] == 50
+    assert bundle["total"] == len(mcf_trace)
+    assert bundle["context"] == {"workload": "mcf", "mode": "ooo"}
+    assert bundle["occupancy"]["rob"] >= 0
+    assert "registry" in bundle and "stall_attribution" in bundle
+    # The file on disk is plain JSON, loadable without repro installed.
+    with open(path) as handle:
+        assert json.load(handle)["version"] == bundle["version"]
+
+
+def test_livelock_bundle_attached_without_crash_dir(mcf_trace):
+    pipe = Pipeline(mcf_trace, watchdog=Watchdog(livelock_cycles=5_000))
+    FaultInjector(seed=1234).arm(pipe, "dropped_wakeup")
+    with pytest.raises(DeadlockError) as exc_info:
+        pipe.run()
+    error = exc_info.value
+    assert error.bundle_path is None
+    assert error.bundle is not None
+    assert error.bundle["reason"] == "livelock"
+    assert error.bundle["retired"] < error.bundle["total"]
+
+
+def test_livelock_fires_long_before_cycle_limit(mcf_trace):
+    """The watchdog replaces a ~1.7M-cycle abort with a ~5k-cycle one."""
+    pipe = Pipeline(mcf_trace, watchdog=Watchdog(livelock_cycles=5_000))
+    FaultInjector(seed=1234).arm(pipe, "dropped_wakeup")
+    with pytest.raises(DeadlockError) as exc_info:
+        pipe.run()
+    assert exc_info.value.bundle["cycle"] < 50_000 < 600 * len(mcf_trace)
+
+
+def test_watchdog_validates_window():
+    with pytest.raises(ValueError):
+        Watchdog(livelock_cycles=0)
+
+
+# -- SMT ---------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def smt_traces():
+    return [
+        get_workload("mcf", scale=0.05).trace(),
+        get_workload("omnetpp", scale=0.05).trace(),
+    ]
+
+
+def test_smt_cycle_limit_is_structured(tmp_path, smt_traces):
+    """SmtPipeline raises SimulationError + bundle, not a bare RuntimeError."""
+    smt = SmtPipeline(
+        smt_traces,
+        watchdog=Watchdog(crash_dir=str(tmp_path)),
+        run_context={"workload": "mcf+omnetpp", "mode": "smt"},
+    )
+    with pytest.raises(SimulationError) as exc_info:
+        smt.run(max_cycles=40)
+    error = exc_info.value
+    assert "cycle limit 40 exceeded" in str(error)
+    bundle = load_crash_bundle(error.bundle_path)
+    assert bundle["total"] == sum(len(t) for t in smt_traces)
+    assert len(bundle["smt_threads"]) == 2
+
+
+def test_smt_livelock_detection(smt_traces):
+    """A window shorter than the fill latency trips the no-retire check."""
+    smt = SmtPipeline(smt_traces, watchdog=Watchdog(livelock_cycles=3))
+    with pytest.raises(DeadlockError, match="no retirement for"):
+        smt.run()
+
+
+def test_smt_default_run_unchanged(smt_traces):
+    baseline = SmtPipeline(smt_traces).run()
+    assert baseline.cycles > 0
+    assert all(t.retired for t in baseline.threads)

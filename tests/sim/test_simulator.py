@@ -36,6 +36,18 @@ def test_ooo_ignores_critical_pcs(small_mcf):
     assert base.stats.issued_critical == 0
 
 
+def test_non_crisp_modes_reject_annotations(small_mcf):
+    """Annotations outside crisp mode would be silently ignored — a
+    mislabeled sweep; simulate() must refuse instead."""
+    for mode in MODES:
+        if mode == "crisp":
+            continue
+        with pytest.raises(ValueError, match="critical_pcs"):
+            simulate(small_mcf, mode, critical_pcs=frozenset({5}))
+    # An empty set is the explicit "no annotation" value and stays legal.
+    assert simulate(small_mcf, "ooo", critical_pcs=frozenset()).stats.retired
+
+
 def test_deterministic_given_same_inputs(small_mcf):
     a = simulate(small_mcf, "ooo")
     b = simulate(small_mcf, "ooo")
