@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Benchmark the sweep executor: wall-clock, jobs, and cache hit-rate.
+
+Runs the same (workload x mode) sweep twice against one result cache — a
+*cold* pass that simulates every cell and a *warm* pass that should answer
+every cell from the cache — and records both to ``BENCH_sweep.json``:
+
+```bash
+PYTHONPATH=src python scripts/bench_sweep.py --workloads mcf,lbm --jobs 4
+```
+
+The recorded warm/cold ratio is the acceptance evidence for the parallel
+layer (docs/PARALLEL.md): identical per-cell results, every warm lookup a
+hit, and a wall-clock drop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def run_pass(workloads, modes, scale, jobs, cache, checkpoint_path):
+    from repro.experiments.runner import SweepRunner
+
+    runner = SweepRunner(
+        workloads=workloads,
+        modes=modes,
+        checkpoint_path=str(checkpoint_path),
+        scale=scale,
+        jobs=jobs,
+        cache=cache,
+    )
+    start = time.perf_counter()
+    state = runner.run()
+    elapsed = time.perf_counter() - start
+    failed = [k for k, c in state["cells"].items() if c["status"] != "done"]
+    if failed:
+        raise SystemExit(f"sweep cells failed: {failed}")
+    results = {
+        key: (cell["ipc"], cell["cycles"]) for key, cell in state["cells"].items()
+    }
+    return elapsed, results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workloads", default="mcf,lbm,deepsjeng,xz")
+    parser.add_argument("--modes", default="ooo,crisp")
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_sweep.json"), metavar="PATH"
+    )
+    parser.add_argument(
+        "--work-dir", default=None, metavar="DIR",
+        help="scratch directory for cache + checkpoints (default: temp)",
+    )
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    from repro.parallel import ResultCache
+
+    workloads = args.workloads.split(",")
+    modes = args.modes.split(",")
+    work_dir = pathlib.Path(args.work_dir or tempfile.mkdtemp(prefix="bench_sweep_"))
+    work_dir.mkdir(parents=True, exist_ok=True)
+    cache = ResultCache(str(work_dir / "cache"))
+
+    cold_s, cold_results = run_pass(
+        workloads, modes, args.scale, args.jobs, cache, work_dir / "cold.json"
+    )
+    warm_s, warm_results = run_pass(
+        workloads, modes, args.scale, args.jobs, cache, work_dir / "warm.json"
+    )
+    if warm_results != cold_results:
+        raise SystemExit("warm pass produced different per-cell results")
+
+    cells = len(workloads) * len(modes)
+    record = {
+        "benchmark": "sweep",
+        "workloads": workloads,
+        "modes": modes,
+        "scale": args.scale,
+        "jobs": args.jobs,
+        "cells": cells,
+        "cold_wall_s": round(cold_s, 3),
+        "warm_wall_s": round(warm_s, 3),
+        "speedup_warm_over_cold": round(cold_s / warm_s, 1) if warm_s else None,
+        "cache_hits": cache.stats.hits,
+        "cache_misses": cache.stats.misses,
+        "warm_hit_rate": cache.stats.hits / cells if cells else 0.0,
+    }
+    pathlib.Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    if record["cache_hits"] != cells:
+        raise SystemExit(
+            f"expected every warm cell to hit the cache: {record['cache_hits']}/{cells}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,8 +70,9 @@ def render_table() -> str:
         "frontend": "Front end",
         "uarch": "Back end (scheduler, ROB, LSQ, ports)",
         "memory": "Memory hierarchy",
+        "parallel": "Parallel execution (result cache, process pool)",
     }
-    for group in ("core", "frontend", "uarch", "memory"):
+    for group in ("core", "frontend", "uarch", "memory", "parallel"):
         metrics = groups.pop(group, [])
         if not metrics:
             continue

@@ -1,4 +1,10 @@
-"""CLI: ``python -m repro.experiments <id> [--scale S] [--workloads a,b]``."""
+"""CLI: ``python -m repro.experiments <id> [--scale S] [--jobs N] ...``.
+
+Execution flags shared by every experiment (docs/PARALLEL.md): ``--jobs``
+fans simulation cells out over a process pool, ``--cache-dir`` points at
+the content-addressed result cache (default ``.repro_cache``; re-running
+an experiment re-simulates only changed cells), ``--no-cache`` disables it.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +13,14 @@ import sys
 import time
 
 from . import EXPERIMENTS, run_experiment
+
+
+def build_cache(args):
+    from ..parallel.cache import ResultCache
+
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir)
 
 
 def run_sweep(args) -> int:
@@ -20,9 +34,11 @@ def run_sweep(args) -> int:
         checkpoint_path=args.checkpoint,
         scale=args.scale,
         retries=args.retries,
-        timeout=args.timeout,
+        cycle_budget=args.cycle_budget,
         invariants=args.invariants,
         crash_dir=args.crash_dir,
+        jobs=args.jobs,
+        cache=build_cache(args),
         on_cell=lambda key, cell: print(f"  {key}: {cell['status']}", flush=True),
     )
     state = runner.run(resume=args.resume, retry_failed=args.retry_failed)
@@ -54,6 +70,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print markdown tables instead of aligned text",
     )
+    execution = parser.add_argument_group("execution options (docs/PARALLEL.md)")
+    execution.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for simulation cells (default: 1, in-process)",
+    )
+    execution.add_argument(
+        "--cache-dir", default=".repro_cache", metavar="DIR",
+        help="content-addressed result cache directory (default: .repro_cache)",
+    )
+    execution.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache (always re-simulate)",
+    )
     sweep = parser.add_argument_group("sweep options")
     sweep.add_argument(
         "--checkpoint", default="sweep_checkpoint.json", metavar="PATH",
@@ -76,8 +105,9 @@ def main(argv: list[str] | None = None) -> int:
         help="retry budget for transient per-cell failures (default: 1)",
     )
     sweep.add_argument(
-        "--timeout", type=float, default=None, metavar="SECONDS",
-        help="wall-clock budget per sweep cell",
+        "--cycle-budget", type=int, default=None, metavar="CYCLES",
+        help="simulated-cycle budget per sweep cell (deterministic timeout; "
+        "works in pool workers, unlike the old wall-clock --timeout)",
     )
     sweep.add_argument(
         "--invariants", choices=("off", "periodic", "full"), default="off",
@@ -92,20 +122,23 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "sweep":
         return run_sweep(args)
 
+    from .common import execution_context
+
     names = [args.experiment] if args.experiment != "all" else sorted(EXPERIMENTS)
-    for name in names:
-        kwargs = {}
-        if name not in ("table1",):
-            kwargs["scale"] = args.scale
-        takes_no_workloads = (
-            "table1", "fig1", "sec31", "discussion_smt", "discussion_division",
-        )
-        if args.workloads and name not in takes_no_workloads:
-            kwargs["workloads"] = args.workloads.split(",")
-        start = time.time()
-        result = run_experiment(name, **kwargs)
-        print(result.to_markdown() if args.markdown else result.to_text())
-        print(f"[{name} took {time.time() - start:.0f}s]\n")
+    with execution_context(jobs=args.jobs, cache=build_cache(args)):
+        for name in names:
+            kwargs = {}
+            if name not in ("table1",):
+                kwargs["scale"] = args.scale
+            takes_no_workloads = (
+                "table1", "fig1", "sec31", "discussion_smt", "discussion_division",
+            )
+            if args.workloads and name not in takes_no_workloads:
+                kwargs["workloads"] = args.workloads.split(",")
+            start = time.time()
+            result = run_experiment(name, **kwargs)
+            print(result.to_markdown() if args.markdown else result.to_text())
+            print(f"[{name} took {time.time() - start:.0f}s]\n")
     return 0
 
 

@@ -9,14 +9,10 @@ persist whichever regular-pattern prefetcher runs underneath.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
-from ..core.fdo import run_crisp_flow
 from ..memory.hierarchy import HierarchyConfig
-from ..sim.simulator import simulate
+from ..parallel.cellkey import CellSpec
 from ..uarch.config import CoreConfig
-from ..workloads import get_workload
-from .common import ExperimentResult, format_pct
+from .common import ExperimentResult, format_pct, require_ipcs
 
 PREFETCHER_SETS = (
     ("none", ()),
@@ -34,18 +30,26 @@ def run(scale: float = 1.0, workloads: list[str] | None = None) -> ExperimentRes
         headers=["workload"]
         + [f"{label} (base IPC / gain)" for label, _ in PREFETCHER_SETS],
     )
-    for name in workloads:
-        row = [name]
-        for _, prefetchers in PREFETCHER_SETS:
-            core = CoreConfig.skylake(
+    specs = [
+        CellSpec(
+            workload=name,
+            mode=mode,
+            scale=scale,
+            config=CoreConfig.skylake(
                 hierarchy=HierarchyConfig(prefetchers=tuple(prefetchers))
-            )
-            flow = run_crisp_flow(name, core_config=core, scale=scale)
-            ref = get_workload(name, "ref", scale)
-            base = simulate(ref, "ooo", config=core).ipc
-            crisp = simulate(
-                ref, "crisp", config=core, critical_pcs=flow.critical_pcs
-            ).ipc
+            ),
+        )
+        for name in workloads
+        for _, prefetchers in PREFETCHER_SETS
+        for mode in ("ooo", "crisp")
+    ]
+    ipcs = require_ipcs(specs)
+    per_workload = 2 * len(PREFETCHER_SETS)
+    for i, name in enumerate(workloads):
+        row = [name]
+        for p in range(len(PREFETCHER_SETS)):
+            base = ipcs[i * per_workload + 2 * p]
+            crisp = ipcs[i * per_workload + 2 * p + 1]
             row.append(f"{base:.3f} / {format_pct(crisp / base)}")
         result.add_row(*row)
     result.notes.append(

@@ -9,12 +9,83 @@ the *shape* comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
 
+from ..parallel.executor import CellResult, run_cells as _parallel_run_cells
 from ..sim.comparison import geomean
 from ..workloads import suite_names
 
-__all__ = ["ExperimentResult", "default_workloads", "format_pct", "geomean"]
+__all__ = [
+    "ExperimentResult",
+    "default_workloads",
+    "execution_context",
+    "format_pct",
+    "geomean",
+    "require_ipcs",
+    "run_cells",
+]
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """How experiment cells execute (docs/PARALLEL.md).
+
+    Library callers get the in-process, uncached default — importing and
+    calling ``run(...)`` behaves exactly as before the parallel layer
+    existed. The CLI (and the benchmarks harness) widen this through
+    :func:`execution_context`.
+    """
+
+    jobs: int = 1
+    cache: object = None  # repro.parallel.ResultCache | None
+    retries: int = 1
+
+
+_EXECUTION = ExecutionOptions()
+
+
+@contextmanager
+def execution_context(*, jobs: int | None = None, cache=None,
+                      retries: int | None = None):
+    """Scope the pool size / result cache for every ``run_cells`` inside."""
+    global _EXECUTION
+    previous = _EXECUTION
+    updates = {}
+    if jobs is not None:
+        updates["jobs"] = jobs
+    if cache is not None:
+        updates["cache"] = cache
+    if retries is not None:
+        updates["retries"] = retries
+    _EXECUTION = replace(previous, **updates)
+    try:
+        yield _EXECUTION
+    finally:
+        _EXECUTION = previous
+
+
+def run_cells(specs) -> list[CellResult]:
+    """Run simulation cells under the active execution context.
+
+    The shared execution path of the figure modules: results come back in
+    input order whatever the completion order, so callers index them
+    positionally against ``specs``.
+    """
+    return _parallel_run_cells(
+        list(specs),
+        jobs=_EXECUTION.jobs,
+        cache=_EXECUTION.cache,
+        retries=_EXECUTION.retries,
+    )
+
+
+def require_ipcs(specs) -> list[float]:
+    """Run cells and return their IPCs, raising if any cell failed."""
+    results = run_cells(specs)
+    for result in results:
+        result.require_stats()
+    return [result.ipc for result in results]
 
 
 @dataclass

@@ -10,14 +10,11 @@ prefers 2%) motivating its future-work iterative tuning.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from ..core.delinquency import DelinquencyConfig
-from ..core.fdo import CrispConfig, run_crisp_flow
+from ..core.fdo import CrispConfig
+from ..parallel.cellkey import CellSpec
 from ..sim.comparison import geomean
-from ..sim.simulator import simulate
-from ..workloads import get_workload
-from .common import ExperimentResult, default_workloads, format_pct
+from .common import ExperimentResult, default_workloads, format_pct, require_ipcs
 
 THRESHOLDS = (0.05, 0.01, 0.002)
 
@@ -32,19 +29,26 @@ def run(
         title="Figure 10: miss-contribution threshold T sensitivity",
         headers=["workload"] + [f"T={t:.1%}" for t in thresholds],
     )
-    ratios: dict[float, list[float]] = {t: [] for t in thresholds}
-    for name in default_workloads(workloads):
-        ref = get_workload(name, "ref", scale)
-        base = simulate(ref, "ooo").ipc
-        row = [name]
+    names = default_workloads(workloads)
+    specs = []
+    for name in names:
+        specs.append(CellSpec(workload=name, mode="ooo", scale=scale))
         for t in thresholds:
-            config = CrispConfig(
+            crisp_config = CrispConfig(
                 delinquency=DelinquencyConfig().with_threshold(t)
             )
-            flow = run_crisp_flow(name, config, scale=scale)
-            ipc = simulate(ref, "crisp", critical_pcs=flow.critical_pcs).ipc
-            ratios[t].append(ipc / base)
-            row.append(format_pct(ipc / base))
+            specs.append(CellSpec(workload=name, mode="crisp", scale=scale,
+                                  crisp_config=crisp_config))
+    ipcs = require_ipcs(specs)
+    per_workload = 1 + len(thresholds)
+    ratios: dict[float, list[float]] = {t: [] for t in thresholds}
+    for i, name in enumerate(names):
+        base = ipcs[i * per_workload]
+        row = [name]
+        for j, t in enumerate(thresholds, start=1):
+            ratio = ipcs[i * per_workload + j] / base
+            ratios[t].append(ratio)
+            row.append(format_pct(ratio))
         result.add_row(*row)
     result.add_row("geomean", *[format_pct(geomean(ratios[t])) for t in thresholds])
     result.notes.append("paper: T=1% best overall; per-app optima vary (Section 5.5).")

@@ -10,8 +10,9 @@ loads; fotonik/perlbench/moses: no critical-path filtering).
 
 from __future__ import annotations
 
-from ..sim.comparison import compare_workload, geomean
-from .common import ExperimentResult, default_workloads, format_pct
+from ..parallel.cellkey import CellSpec
+from ..sim.comparison import geomean
+from .common import ExperimentResult, default_workloads, format_pct, require_ipcs
 
 #: Modes in Figure 7's legend order.
 DEFAULT_MODES = ("crisp", "ibda-1k", "ibda-8k", "ibda-64k", "ibda-inf")
@@ -27,12 +28,20 @@ def run(
         title="Figure 7: IPC improvement over the OOO baseline",
         headers=["workload", "base IPC"] + [f"{m} gain" for m in modes],
     )
+    names = default_workloads(workloads)
+    all_modes = ("ooo",) + modes
+    specs = [
+        CellSpec(workload=name, mode=mode, scale=scale)
+        for name in names
+        for mode in all_modes
+    ]
+    ipcs = require_ipcs(specs)
     speedups: dict[str, list[float]] = {m: [] for m in modes}
-    for name in default_workloads(workloads):
-        cmp = compare_workload(name, scale=scale, modes=("ooo",) + modes)
-        row = [name, cmp.ipc("ooo")]
-        for mode in modes:
-            ratio = cmp.speedup(mode)
+    for i, name in enumerate(names):
+        base = ipcs[i * len(all_modes)]
+        row = [name, base]
+        for j, mode in enumerate(modes, start=1):
+            ratio = ipcs[i * len(all_modes) + j] / base
             speedups[mode].append(ratio)
             row.append(format_pct(ratio))
         result.add_row(*row)

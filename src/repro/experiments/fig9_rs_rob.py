@@ -10,11 +10,10 @@ relative headroom).
 
 from __future__ import annotations
 
-from ..core.fdo import CrispConfig, run_crisp_flow
-from ..sim.simulator import simulate
+from ..core.fdo import CrispConfig
+from ..parallel.cellkey import CellSpec
 from ..uarch.config import CoreConfig
-from ..workloads import get_workload
-from .common import ExperimentResult, default_workloads, format_pct
+from .common import ExperimentResult, default_workloads, format_pct, require_ipcs
 
 CONFIGS = (
     ("64RS/180ROB", CoreConfig.small_window),
@@ -34,15 +33,23 @@ def run(
         title="Figure 9: CRISP gain vs RS/ROB size",
         headers=["workload"] + [name for name, _ in CONFIGS],
     )
-    for name in default_workloads(workloads):
-        ref = get_workload(name, "ref", scale)
+    names = default_workloads(workloads)
+    specs = [
+        # The FDO flow profiles on the same core it targets (crisp cells
+        # derive their annotation in the worker on `core`).
+        CellSpec(workload=name, mode=mode, scale=scale, config=factory(),
+                 crisp_config=crisp_config if mode == "crisp" else None)
+        for name in names
+        for _, factory in CONFIGS
+        for mode in ("ooo", "crisp")
+    ]
+    ipcs = require_ipcs(specs)
+    per_workload = 2 * len(CONFIGS)
+    for i, name in enumerate(names):
         row = [name]
-        for _, factory in CONFIGS:
-            core = factory()
-            # The FDO flow profiles on the same core it targets.
-            flow = run_crisp_flow(name, crisp_config, core_config=core, scale=scale)
-            base = simulate(ref, "ooo", config=core).ipc
-            crisp = simulate(ref, "crisp", config=core, critical_pcs=flow.critical_pcs).ipc
+        for c in range(len(CONFIGS)):
+            base = ipcs[i * per_workload + 2 * c]
+            crisp = ipcs[i * per_workload + 2 * c + 1]
             row.append(format_pct(crisp / base))
         result.add_row(*row)
     result.notes.append(

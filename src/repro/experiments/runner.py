@@ -7,14 +7,25 @@ throw away every finished result. This runner checkpoints each
 sweep — including one killed with SIGKILL mid-cell — resumes with
 ``--resume`` and re-simulates only the unfinished cells.
 
+Execution goes through :mod:`repro.parallel` (docs/PARALLEL.md): cells run
+on a process pool (``--jobs N``), and finished cells are stored in a
+content-addressed result cache, so re-running a sweep — or any experiment
+sharing cells with it — only simulates what actually changed. ``--resume``
+composes with both: the checkpoint skips finished cells without even a
+cache lookup, and the cache answers cells other runs already simulated.
+
 Failure policy (docs/RESILIENCE.md):
 
 * **Hard failures** — :class:`~repro.resilience.errors.SimulationError`
   and its subclasses (invariant violations, watchdog livelock, cycle
   limit) — are recorded in the checkpoint with their message and the
   sweep continues; partial results stay useful.
-* **Transient failures** — per-cell timeouts and ``OSError`` — are
-  retried up to ``retries`` times before being recorded as failed.
+* **Transient failures** — per-cell cycle-budget timeouts
+  (:class:`~repro.resilience.errors.CellTimeout`, raised by the
+  :class:`~repro.resilience.watchdog.CycleBudgetWatchdog` on any thread or
+  worker process — the old ``SIGALRM`` wall-clock alarm silently never
+  fired off the POSIX main thread) and ``OSError`` — are retried up to
+  ``retries`` times before being recorded as failed.
 * **Configuration errors** — ``ValueError`` (unknown mode, mislabeled
   annotations) — propagate immediately: every cell would fail the same
   way, so continuing is pointless.
@@ -27,41 +38,18 @@ from __future__ import annotations
 
 import json
 import os
-import signal
 import tempfile
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-from ..resilience.errors import SimulationError
+# Re-exported for backwards compatibility: CellTimeout predates the
+# resilience-layer home it now lives in.
+from ..resilience.errors import CellTimeout, SimulationError  # noqa: F401
 
 CHECKPOINT_VERSION = 1
 
 #: Cell states recorded in the checkpoint.
 STATUS_DONE = "done"
 STATUS_FAILED = "failed"
-
-
-class CellTimeout(TimeoutError):
-    """A single sweep cell exceeded its wall-clock budget."""
-
-
-@contextmanager
-def _alarm(seconds: float | None):
-    """Raise :class:`CellTimeout` after ``seconds`` (POSIX main thread only)."""
-    if not seconds or not hasattr(signal, "SIGALRM"):
-        yield
-        return
-
-    def _on_alarm(signum, frame):
-        raise CellTimeout(f"cell exceeded {seconds}s")
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0)
-        signal.signal(signal.SIGALRM, previous)
 
 
 def default_run_cell(
@@ -71,43 +59,61 @@ def default_run_cell(
     scale: float,
     invariants: str | None = None,
     crash_dir: str | None = None,
+    cycle_budget: int | None = None,
 ) -> dict:
     """Simulate one (workload, mode) cell and return its result row."""
-    from ..core.fdo import run_crisp_flow
-    from ..sim.simulator import simulate
-    from ..workloads import get_workload
+    from ..parallel.cellkey import CellSpec
+    from ..parallel.executor import run_cell_spec
 
-    critical = frozenset()
-    if mode == "crisp":
-        critical = run_crisp_flow(workload, scale=scale).critical_pcs
-    ref = get_workload(workload, scale=scale)
-    result = simulate(
-        ref, mode, critical_pcs=critical, invariants=invariants, crash_dir=crash_dir
+    payload = run_cell_spec(
+        CellSpec(
+            workload=workload,
+            mode=mode,
+            scale=scale,
+            invariants=invariants,
+            crash_dir=crash_dir,
+            cycle_budget=cycle_budget,
+        )
     )
     return {
-        "ipc": result.ipc,
-        "cycles": result.stats.cycles,
-        "retired": result.stats.retired,
+        "ipc": payload["ipc"],
+        "cycles": payload["stats"]["cycles"],
+        "retired": payload["stats"]["retired"],
     }
 
 
 @dataclass
 class SweepRunner:
-    """Run a (workload x mode) sweep with per-cell checkpointing."""
+    """Run a (workload x mode) sweep with per-cell checkpointing.
+
+    ``jobs`` > 1 fans pending cells out over a process pool; ``cache``
+    short-circuits cells whose content-addressed result already exists.
+    Both require the default simulator path — injecting a custom
+    ``run_cell`` (tests) forces serial, uncached execution, since an
+    arbitrary closure is neither picklable nor content-addressable.
+    """
 
     workloads: list[str]
     modes: list[str]
     checkpoint_path: str
     scale: float = 1.0
     retries: int = 1
-    timeout: float | None = None
+    #: Per-cell simulated-cycle budget (None = no budget). Replaces the old
+    #: wall-clock ``timeout``; see CycleBudgetWatchdog.
+    cycle_budget: int | None = None
     invariants: str | None = None
     crash_dir: str | None = None
+    #: Worker processes for pending cells (<= 1 runs in-process).
+    jobs: int = 1
+    #: Content-addressed result cache (repro.parallel.ResultCache) or None.
+    cache: object = None
     #: Injectable for tests; signature of :func:`default_run_cell`.
     run_cell: object = None
     #: Progress callback ``(key, cell_dict) -> None``; default prints.
     on_cell: object = None
     state: dict = field(default_factory=dict)
+    #: Execution counters (repro.parallel.PoolStats) populated by run().
+    pool_stats: object = None
 
     @staticmethod
     def cell_key(workload: str, mode: str) -> str:
@@ -168,16 +174,6 @@ class SweepRunner:
                     pending.append((workload, mode))
         return pending
 
-    def _execute(self, workload: str, mode: str) -> dict:
-        run_cell = self.run_cell or default_run_cell
-        return run_cell(
-            workload,
-            mode,
-            scale=self.scale,
-            invariants=self.invariants,
-            crash_dir=self.crash_dir,
-        )
-
     def run(self, *, resume: bool = False, retry_failed: bool = False) -> dict:
         """Run every pending cell; returns the final checkpoint state."""
         if resume and os.path.exists(self.checkpoint_path):
@@ -185,7 +181,53 @@ class SweepRunner:
         else:
             self.state = self._fresh_state()
             self.save_checkpoint()
-        for workload, mode in self.pending_cells(retry_failed=retry_failed):
+        pending = self.pending_cells(retry_failed=retry_failed)
+        if self.run_cell is None:
+            self._run_parallel(pending)
+        else:
+            self._run_injected(pending)
+        return self.state
+
+    def _record(self, key: str, cell: dict) -> None:
+        self.state["cells"][key] = cell
+        self.save_checkpoint()
+        if self.on_cell is not None:
+            self.on_cell(key, cell)
+
+    def _run_parallel(self, pending: list[tuple[str, str]]) -> None:
+        """Default path: the repro.parallel executor (pool + cache)."""
+        from ..parallel.cellkey import CellSpec
+        from ..parallel.executor import PoolStats, run_cells
+
+        specs = [
+            CellSpec(
+                workload=workload,
+                mode=mode,
+                scale=self.scale,
+                invariants=self.invariants,
+                crash_dir=self.crash_dir,
+                cycle_budget=self.cycle_budget,
+            )
+            for workload, mode in pending
+        ]
+        self.pool_stats = PoolStats()
+        run_cells(
+            specs,
+            jobs=self.jobs,
+            cache=self.cache,
+            retries=self.retries,
+            stats=self.pool_stats,
+            # Checkpoint incrementally, in completion order: a kill at any
+            # instant loses at most the in-flight cells.
+            on_result=lambda result: self._record(
+                self.cell_key(result.spec.workload, result.spec.mode),
+                result.checkpoint_row(),
+            ),
+        )
+
+    def _run_injected(self, pending: list[tuple[str, str]]) -> None:
+        """Test path: serial loop around an injected ``run_cell``."""
+        for workload, mode in pending:
             key = self.cell_key(workload, mode)
             cell = {"status": STATUS_FAILED, "attempts": 0}
             attempts_left = self.retries + 1
@@ -193,8 +235,14 @@ class SweepRunner:
                 attempts_left -= 1
                 cell["attempts"] += 1
                 try:
-                    with _alarm(self.timeout):
-                        row = self._execute(workload, mode)
+                    row = self.run_cell(
+                        workload,
+                        mode,
+                        scale=self.scale,
+                        invariants=self.invariants,
+                        crash_dir=self.crash_dir,
+                        cycle_budget=self.cycle_budget,
+                    )
                 except SimulationError as exc:
                     # Hard failure: record (with any crash-bundle path) and
                     # move on — one bad cell must not sink the sweep.
@@ -216,11 +264,7 @@ class SweepRunner:
                     cell.pop("error", None)
                     cell.pop("error_type", None)
                     break
-            self.state["cells"][key] = cell
-            self.save_checkpoint()
-            if self.on_cell is not None:
-                self.on_cell(key, cell)
-        return self.state
+            self._record(key, cell)
 
     # -- reporting -----------------------------------------------------------
 
@@ -239,13 +283,20 @@ class SweepRunner:
                 if cell is None:
                     lines.append(f"  {workload:14s} {mode:10s} pending")
                 elif cell["status"] == STATUS_DONE:
+                    cached = " (cached)" if cell.get("cached") else ""
                     lines.append(
                         f"  {workload:14s} {mode:10s} IPC {cell['ipc']:.3f} "
-                        f"({cell['cycles']} cycles)"
+                        f"({cell['cycles']} cycles){cached}"
                     )
                 else:
                     lines.append(
                         f"  {workload:14s} {mode:10s} FAILED "
                         f"[{cell.get('error_type', '?')}] {cell.get('error', '')}"
                     )
+        if self.cache is not None:
+            cs = self.cache.stats
+            lines.append(
+                f"cache: {cs.hits} hits / {cs.misses} misses "
+                f"({cs.hit_rate:.0%} hit rate), {cs.stores} stored"
+            )
         return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Parallel experiment execution: cell keys, result cache, process pool.
+
+The paper's evaluation is a large (workload x mode x config) sweep matrix,
+and the pure-Python cycle model makes each cell expensive. This package is
+the execution layer that makes the matrix cheap to re-run (see
+docs/PARALLEL.md):
+
+* :mod:`repro.parallel.cellkey` -- a canonical, content-hashed identity for
+  one simulation cell (workload, variant, scale, mode, annotation, full
+  core configuration, cache schema version),
+* :mod:`repro.parallel.cache` -- a content-addressed on-disk store of
+  serialized :class:`~repro.uarch.stats.SimStats`, so identical cells are
+  simulated once ever,
+* :mod:`repro.parallel.executor` -- a :class:`ProcessPoolExecutor`-based
+  runner for picklable cell specs with per-cell deterministic seeding,
+  cycle-budget timeouts, transient-failure retries, and deterministic
+  result ordering regardless of completion order.
+"""
+
+from __future__ import annotations
+
+from .cache import CacheStats, ResultCache
+from .cellkey import CACHE_SCHEMA_VERSION, CellSpec, cell_key, cell_payload
+from .executor import CellResult, PoolStats, run_cell_spec, run_cells
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "CellResult",
+    "CellSpec",
+    "PoolStats",
+    "ResultCache",
+    "cell_key",
+    "cell_payload",
+    "run_cell_spec",
+    "run_cells",
+]

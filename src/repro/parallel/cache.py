@@ -1,0 +1,181 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Entries are keyed by :func:`repro.parallel.cellkey.cell_key`, so the cache
+never needs invalidation logic: any change to the simulator's inputs (core
+config, workload, scale, annotation, schema version) changes the key, and
+the stale entry simply stops being addressed. Writes are atomic (temp file
++ ``os.replace``), so a crash mid-write leaves no torn entry; unreadable or
+mismatched entries degrade to misses, never to wrong results.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` (fan-out over 256 subdirectories so
+large sweeps do not pile thousands of files into one directory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+
+from .cellkey import CACHE_SCHEMA_VERSION
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store/evict counters for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def register_into(self, registry) -> None:
+        """Register collector-backed counters (docs/METRICS.md contract)."""
+        spec = (
+            ("parallel.cache.hits", "hits",
+             "cell lookups answered from the content-addressed result cache"),
+            ("parallel.cache.misses", "misses",
+             "cell lookups that required a fresh simulation"),
+            ("parallel.cache.stores", "stores",
+             "simulation results written into the cache"),
+            ("parallel.cache.evictions", "evictions",
+             "cache entries evicted (oldest-first) to respect max_entries"),
+        )
+        for name, field_name, desc in spec:
+            registry.counter(
+                name,
+                unit="events",
+                desc=desc,
+                owner="result cache",
+                figure="",
+                collect=lambda f=field_name: getattr(self, f),
+            )
+
+
+class ResultCache:
+    """Content-addressed store of serialized cell results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on the first store).
+    max_entries:
+        Optional capacity; exceeding it evicts the oldest entries by
+        modification time. ``None`` means unbounded.
+    stats:
+        Counter sink; a fresh :class:`CacheStats` when omitted.
+    """
+
+    def __init__(self, root: str, *, max_entries: int | None = None,
+                 stats: CacheStats | None = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.root = str(root)
+        self.max_entries = max_entries
+        self.stats = stats if stats is not None else CacheStats()
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload for ``key``, or None (counted as hit/miss).
+
+        A corrupt, unreadable, or schema-mismatched entry is a miss: the
+        caller re-simulates and overwrites it with a good one.
+        """
+        try:
+            with open(self.path_for(key)) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != CACHE_SCHEMA_VERSION
+            or payload.get("key") != key
+        ):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    # -- store ----------------------------------------------------------------
+
+    def put(self, key: str, payload: dict) -> str:
+        """Atomically store ``payload`` under ``key``; returns the path."""
+        payload = dict(payload)
+        payload["schema"] = CACHE_SCHEMA_VERSION
+        payload["key"] = key
+        path = self.path_for(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self.stats.stores += 1
+        if self.max_entries is not None:
+            self._evict_over_capacity()
+        return path
+
+    # -- maintenance ----------------------------------------------------------
+
+    def _entries(self) -> list[str]:
+        entries = []
+        if not os.path.isdir(self.root):
+            return entries
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                if name.endswith(".json"):
+                    entries.append(os.path.join(shard_dir, name))
+        return entries
+
+    def _evict_over_capacity(self) -> None:
+        entries = self._entries()
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        def age(path):
+            try:
+                return os.path.getmtime(path)
+            except OSError:
+                return 0.0
+        for path in sorted(entries, key=lambda p: (age(p), p))[:excess]:
+            try:
+                os.unlink(path)
+                self.stats.evictions += 1
+            except OSError:
+                pass  # concurrent eviction by another process
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entries():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,102 @@
+"""Canonical cell identity: a stable content hash for one simulation run.
+
+A *cell* is the unit of the evaluation matrix: one workload variant at one
+scale, run in one mode on one core configuration, with one annotation. Two
+cells with equal keys produce identical :class:`~repro.uarch.stats.SimStats`
+(the simulator is deterministic), so the key doubles as the address of the
+cached result.
+
+The key hashes every input that can change the outcome — and nothing else:
+
+* the cache schema version (bump :data:`CACHE_SCHEMA_VERSION` whenever the
+  simulator's observable behaviour or the stored payload format changes),
+* every :class:`~repro.uarch.config.CoreConfig` field, including the nested
+  hierarchy and DRAM configs,
+* workload name, variant, its registered RNG seed, and scale,
+* the mode, and
+* the annotation: the sorted ``critical_pcs`` when given explicitly, or the
+  full FDO-flow recipe (:class:`~repro.core.fdo.CrispConfig` fields) when
+  the worker derives them itself.
+
+Execution-only knobs (cycle budget, invariant cadence, crash directory)
+deliberately stay out of the key: they do not change a successful cell's
+statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+from ..core.fdo import CrispConfig
+from ..uarch.config import CoreConfig
+from ..workloads.base import VARIANT_SEEDS
+
+#: Bump when simulator behaviour or the cached payload format changes; old
+#: cache entries then miss (different key) instead of poisoning results.
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """A picklable description of one simulation cell.
+
+    Workloads are referenced *by name* and rebuilt inside the worker
+    process; the spec never carries a trace or program object, so it stays
+    small on the pickle wire and the worker's reconstruction exercises the
+    same deterministic builder path as an in-process run.
+    """
+
+    workload: str
+    mode: str
+    scale: float = 1.0
+    variant: str = "ref"
+    #: Explicit annotation. ``None`` in ``"crisp"`` mode means "run the FDO
+    #: flow on the train input inside the worker" (the common case).
+    critical_pcs: tuple[int, ...] | None = None
+    #: FDO-flow knobs used when deriving ``critical_pcs`` in the worker.
+    crisp_config: CrispConfig | None = None
+    #: Core configuration; ``None`` means the Table 1 Skylake preset.
+    config: CoreConfig | None = None
+    # Execution-only knobs (not part of the cell key).
+    invariants: str | None = None
+    cycle_budget: int | None = None
+    crash_dir: str | None = None
+
+    def core_config(self) -> CoreConfig:
+        return self.config if self.config is not None else CoreConfig.skylake()
+
+    def label(self) -> str:
+        return f"{self.workload}/{self.mode}"
+
+
+def _annotation_entry(spec: CellSpec):
+    """The key's annotation component (explicit PCs or the derivation recipe)."""
+    if spec.critical_pcs is not None:
+        return {"explicit": sorted(spec.critical_pcs)}
+    if spec.mode != "crisp":
+        return {"none": True}
+    crisp = spec.crisp_config if spec.crisp_config is not None else CrispConfig()
+    return {"derive": "fdo-train", "crisp_config": dataclasses.asdict(crisp)}
+
+
+def cell_payload(spec: CellSpec) -> dict:
+    """The canonical (JSON-serializable) dict the key is hashed over."""
+    return {
+        "schema": CACHE_SCHEMA_VERSION,
+        "workload": spec.workload,
+        "variant": spec.variant,
+        "seed": VARIANT_SEEDS[spec.variant],
+        "scale": spec.scale,
+        "mode": spec.mode,
+        "annotation": _annotation_entry(spec),
+        "config": dataclasses.asdict(spec.core_config()),
+    }
+
+
+def cell_key(spec: CellSpec) -> str:
+    """Stable content hash (hex sha256) of the cell's canonical payload."""
+    canon = json.dumps(cell_payload(spec), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()

@@ -1,0 +1,357 @@
+"""Process-pool execution of simulation cells.
+
+``run_cells`` takes a list of :class:`~repro.parallel.cellkey.CellSpec` and
+returns one :class:`CellResult` per spec **in input order**, regardless of
+which worker finished first — callers index results positionally and get
+deterministic tables.
+
+Execution path per cell:
+
+1. Compute the content hash (:func:`~repro.parallel.cellkey.cell_key`) and
+   consult the :class:`~repro.parallel.cache.ResultCache` if one is given;
+   a hit skips simulation entirely.
+2. Misses are simulated — in-process when ``jobs <= 1``, otherwise on a
+   :class:`concurrent.futures.ProcessPoolExecutor`. Workers receive only
+   the picklable spec; the workload is rebuilt *by name* inside the worker
+   through the same deterministic builder an in-process run uses, and the
+   worker's global RNG is re-seeded from the cell key first, so no ambient
+   RNG state can leak between cells (guarded by
+   ``tests/parallel/test_executor.py``'s cross-process determinism check).
+3. Failures follow the sweep policy of docs/RESILIENCE.md:
+   :class:`~repro.resilience.errors.SimulationError` is a *hard* failure
+   (recorded, never retried); :class:`~repro.resilience.errors.CellTimeout`
+   (cycle budget, see
+   :class:`~repro.resilience.watchdog.CycleBudgetWatchdog`) and ``OSError``
+   are *transient* (retried up to ``retries`` times); ``ValueError`` is a
+   configuration error and propagates immediately.
+4. Successful results are serialized (``SimStats.to_dict``) and stored back
+   into the cache atomically.
+
+Workers never let simulator exceptions cross the pickle boundary — some
+carry keyword-only constructor signatures that do not survive
+round-tripping — they return a tagged failure dict instead.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from ..resilience.errors import CellTimeout, SimulationError
+from ..uarch.stats import SimStats
+from .cache import ResultCache
+from .cellkey import CellSpec, cell_key
+
+#: Cell states (shared vocabulary with the sweep checkpoint).
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+
+@dataclass
+class PoolStats:
+    """Execution counters for one ``run_cells`` call (or a whole sweep)."""
+
+    cells_total: int = 0
+    cells_cached: int = 0
+    cells_executed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    hard_failures: int = 0
+
+    def register_into(self, registry) -> None:
+        """Register collector-backed counters (docs/METRICS.md contract)."""
+        spec = (
+            ("parallel.pool.cells_total", "cells_total",
+             "simulation cells submitted to the executor"),
+            ("parallel.pool.cells_cached", "cells_cached",
+             "cells answered by the result cache without simulating"),
+            ("parallel.pool.cells_executed", "cells_executed",
+             "cells that ran a fresh simulation (worker or in-process)"),
+            ("parallel.pool.retries", "retries",
+             "re-submissions after a transient cell failure"),
+            ("parallel.pool.timeouts", "timeouts",
+             "cell attempts ended by the cycle-budget watchdog"),
+            ("parallel.pool.hard_failures", "hard_failures",
+             "cells recorded as failed (hard error or retries exhausted)"),
+        )
+        for name, field_name, desc in spec:
+            registry.counter(
+                name,
+                unit="events",
+                desc=desc,
+                owner="process pool",
+                figure="",
+                collect=lambda f=field_name: getattr(self, f),
+            )
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell, cached or freshly simulated."""
+
+    spec: CellSpec
+    key: str
+    status: str
+    attempts: int = 0
+    from_cache: bool = False
+    ipc: float | None = None
+    stats: SimStats | None = None
+    critical_pcs: tuple[int, ...] = ()
+    error: str | None = None
+    error_type: str | None = None
+    crash_bundle: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_DONE
+
+    def require_stats(self) -> SimStats:
+        """Stats of a successful cell; raises on a failed one."""
+        if not self.ok or self.stats is None:
+            raise RuntimeError(
+                f"cell {self.spec.label()} failed "
+                f"[{self.error_type or '?'}]: {self.error or 'no result'}"
+            )
+        return self.stats
+
+    def checkpoint_row(self) -> dict:
+        """The sweep-checkpoint cell dict for this result."""
+        row = {"status": self.status, "attempts": self.attempts, "key": self.key}
+        if self.ok:
+            stats = self.require_stats()
+            row.update(
+                ipc=self.ipc, cycles=stats.cycles, retired=stats.retired,
+                cached=self.from_cache,
+            )
+        else:
+            row.update(error=self.error, error_type=self.error_type)
+            if self.crash_bundle:
+                row["crash_bundle"] = self.crash_bundle
+        return row
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def run_cell_spec(spec: CellSpec) -> dict:
+    """Simulate one cell and return its serialized result payload.
+
+    Runs identically in-process and inside a pool worker: the workload is
+    rebuilt by name, and the *global* RNG is re-seeded deterministically
+    from the cell key first so any builder that (illegitimately) touched
+    ``random`` module state would still behave reproducibly per cell rather
+    than depending on worker scheduling history.
+    """
+    from ..core.fdo import run_crisp_flow
+    from ..resilience.watchdog import CycleBudgetWatchdog, Watchdog
+    from ..sim.simulator import simulate
+    from ..workloads import get_workload
+
+    key = cell_key(spec)
+    random.seed(int(key[:16], 16))
+
+    config = spec.core_config()
+    critical: frozenset[int] = frozenset()
+    if spec.mode == "crisp":
+        if spec.critical_pcs is not None:
+            critical = frozenset(spec.critical_pcs)
+        else:
+            flow = run_crisp_flow(
+                spec.workload,
+                spec.crisp_config,
+                core_config=config,
+                scale=spec.scale,
+            )
+            critical = flow.critical_pcs
+
+    watchdog = None
+    context = {"workload": spec.workload, "mode": spec.mode,
+               "variant": spec.variant, "scale": spec.scale}
+    if spec.cycle_budget is not None:
+        watchdog = CycleBudgetWatchdog(
+            spec.cycle_budget, crash_dir=spec.crash_dir, context=context
+        )
+    elif spec.crash_dir is not None:
+        watchdog = Watchdog(crash_dir=spec.crash_dir, context=context)
+
+    workload = get_workload(spec.workload, variant=spec.variant, scale=spec.scale)
+    result = simulate(
+        workload,
+        spec.mode,
+        config=config,
+        critical_pcs=critical,
+        invariants=spec.invariants,
+        watchdog=watchdog,
+    )
+    return {
+        "workload": spec.workload,
+        "mode": spec.mode,
+        "ipc": result.ipc,
+        "critical_pcs": sorted(critical),
+        "stats": result.stats.to_dict(),
+    }
+
+
+def _pool_run_cell(spec: CellSpec) -> dict:
+    """Worker entry point: run one cell, return a tagged outcome dict."""
+    try:
+        return {"ok": True, "payload": run_cell_spec(spec)}
+    except (CellTimeout, OSError) as exc:
+        return {"ok": False, "transient": True,
+                "error": str(exc), "error_type": type(exc).__name__}
+    except SimulationError as exc:
+        return {"ok": False, "transient": False,
+                "error": str(exc), "error_type": type(exc).__name__,
+                "crash_bundle": exc.bundle_path}
+    # ValueError (configuration error) intentionally propagates: every cell
+    # would fail identically, so the whole run should stop. It pickles fine.
+
+
+# -- driver side ---------------------------------------------------------------
+
+
+def _result_from_payload(spec, key, payload, *, attempts, from_cache) -> CellResult:
+    return CellResult(
+        spec=spec,
+        key=key,
+        status=STATUS_DONE,
+        attempts=attempts,
+        from_cache=from_cache,
+        ipc=payload["ipc"],
+        stats=SimStats.from_dict(payload["stats"]),
+        critical_pcs=tuple(payload.get("critical_pcs", ())),
+    )
+
+
+def _result_from_failure(spec, key, outcome, *, attempts) -> CellResult:
+    return CellResult(
+        spec=spec,
+        key=key,
+        status=STATUS_FAILED,
+        attempts=attempts,
+        error=outcome.get("error"),
+        error_type=outcome.get("error_type"),
+        crash_bundle=outcome.get("crash_bundle"),
+    )
+
+
+@dataclass
+class _Pending:
+    index: int
+    spec: CellSpec
+    key: str
+    attempts: int = 0
+
+
+def run_cells(
+    specs: list[CellSpec],
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    retries: int = 1,
+    stats: PoolStats | None = None,
+    on_result=None,
+) -> list[CellResult]:
+    """Run every cell; returns results in input order.
+
+    ``jobs <= 1`` runs in-process (no pool, no pickling); higher values use
+    a process pool with at most ``jobs`` workers. ``on_result`` is called
+    with each :class:`CellResult` *as it resolves* (completion order —
+    useful for incremental checkpointing); the returned list is always in
+    input order.
+    """
+    stats = stats if stats is not None else PoolStats()
+    stats.cells_total += len(specs)
+    results: list[CellResult | None] = [None] * len(specs)
+    pending: list[_Pending] = []
+
+    def resolve(index: int, result: CellResult) -> None:
+        results[index] = result
+        if result.status == STATUS_FAILED:
+            stats.hard_failures += 1
+        if result.ok and cache is not None and not result.from_cache:
+            payload = {
+                "workload": result.spec.workload,
+                "mode": result.spec.mode,
+                "ipc": result.ipc,
+                "critical_pcs": list(result.critical_pcs),
+                "stats": result.require_stats().to_dict(),
+            }
+            cache.put(result.key, payload)
+        if on_result is not None:
+            on_result(result)
+
+    for index, spec in enumerate(specs):
+        key = cell_key(spec)
+        if cache is not None:
+            payload = cache.get(key)
+            if payload is not None:
+                stats.cells_cached += 1
+                resolve(index, _result_from_payload(
+                    spec, key, payload, attempts=0, from_cache=True))
+                continue
+        pending.append(_Pending(index, spec, key))
+
+    if pending and jobs <= 1:
+        for item in pending:
+            _run_serial(item, retries, stats, resolve)
+    elif pending:
+        _run_pooled(pending, jobs, retries, stats, resolve)
+
+    return results  # type: ignore[return-value]
+
+
+def _record_attempt_failure(outcome: dict, stats: PoolStats) -> None:
+    if outcome.get("error_type") == "CellTimeout":
+        stats.timeouts += 1
+
+
+def _run_serial(item: _Pending, retries, stats, resolve) -> None:
+    outcome: dict = {}
+    while item.attempts <= retries:
+        item.attempts += 1
+        stats.cells_executed += 1
+        outcome = _pool_run_cell(item.spec)
+        if outcome["ok"]:
+            resolve(item.index, _result_from_payload(
+                item.spec, item.key, outcome["payload"],
+                attempts=item.attempts, from_cache=False))
+            return
+        _record_attempt_failure(outcome, stats)
+        if not outcome.get("transient"):
+            break
+        if item.attempts <= retries:
+            stats.retries += 1
+    resolve(item.index, _result_from_failure(
+        item.spec, item.key, outcome, attempts=item.attempts))
+
+
+def _run_pooled(pending, jobs, retries, stats, resolve) -> None:
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {}
+        for item in pending:
+            item.attempts += 1
+            stats.cells_executed += 1
+            futures[pool.submit(_pool_run_cell, item.spec)] = item
+        while futures:
+            finished, _ = wait(futures, return_when=FIRST_COMPLETED)
+            for future in finished:
+                item = futures.pop(future)
+                # Configuration errors (ValueError) and worker crashes
+                # (BrokenProcessPool) propagate from .result() by design.
+                outcome = future.result()
+                if outcome["ok"]:
+                    resolve(item.index, _result_from_payload(
+                        item.spec, item.key, outcome["payload"],
+                        attempts=item.attempts, from_cache=False))
+                    continue
+                _record_attempt_failure(outcome, stats)
+                if outcome.get("transient") and item.attempts <= retries:
+                    stats.retries += 1
+                    item.attempts += 1
+                    stats.cells_executed += 1
+                    futures[pool.submit(_pool_run_cell, item.spec)] = item
+                    continue
+                resolve(item.index, _result_from_failure(
+                    item.spec, item.key, outcome, attempts=item.attempts))

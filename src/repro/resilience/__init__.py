@@ -27,7 +27,7 @@ from .crash_bundle import (
     load_crash_bundle,
     write_crash_bundle,
 )
-from .errors import DeadlockError, InvariantViolation, SimulationError
+from .errors import CellTimeout, DeadlockError, InvariantViolation, SimulationError
 from .faults import FAULT_CLASSES, FaultInjector, inject
 from .invariants import (
     INVARIANT_CLASSES,
@@ -35,10 +35,12 @@ from .invariants import (
     audit_age_matrix,
     check_age_matrix,
 )
-from .watchdog import DEFAULT_LIVELOCK_CYCLES, Watchdog
+from .watchdog import DEFAULT_LIVELOCK_CYCLES, CycleBudgetWatchdog, Watchdog
 
 __all__ = [
     "BUNDLE_VERSION",
+    "CellTimeout",
+    "CycleBudgetWatchdog",
     "DEFAULT_LIVELOCK_CYCLES",
     "DeadlockError",
     "FAULT_CLASSES",

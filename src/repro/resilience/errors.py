@@ -25,6 +25,23 @@ class SimulationError(Exception):
         self.bundle_path = bundle_path
 
 
+class CellTimeout(TimeoutError):
+    """A sweep cell exceeded its per-cell budget.
+
+    Historically raised by a ``SIGALRM`` wall-clock alarm, which silently
+    never fired off the POSIX main thread (and therefore in pool workers).
+    It is now raised by
+    :class:`~repro.resilience.watchdog.CycleBudgetWatchdog` when the
+    simulated-cycle budget runs out — deterministic, and it works on any
+    thread, in any worker process, on any platform. The sweep runner still
+    treats it as a *transient* failure (retried, then recorded).
+
+    Deliberately a plain :class:`TimeoutError`, not a
+    :class:`SimulationError`: handlers that record hard simulation failures
+    must not swallow budget expirations.
+    """
+
+
 class DeadlockError(SimulationError):
     """The watchdog saw no retirement progress for its livelock window."""
 

@@ -16,7 +16,7 @@ unchanged (see ``tests/resilience``'s byte-identical check).
 from __future__ import annotations
 
 from .crash_bundle import write_crash_bundle
-from .errors import DeadlockError, SimulationError
+from .errors import CellTimeout, DeadlockError, SimulationError
 
 #: Default no-retire window before declaring livelock. Worst-case genuine
 #: stalls (a full MSHR file of queued DRAM misses) resolve in thousands of
@@ -112,3 +112,33 @@ class Watchdog:
                                retired=retired, total=total)
         bundle.setdefault("context", {}).update(self.context)
         return bundle
+
+
+class CycleBudgetWatchdog(Watchdog):
+    """Watchdog whose cycle ceiling is a per-cell *budget*, not a wedge.
+
+    Sweep cells used to get wall-clock timeouts via ``SIGALRM``, which is a
+    no-op off the POSIX main thread and inside pool workers. A budget on
+    *simulated* cycles replaces it: deterministic (the same cell always
+    times out at the same point), portable, and thread/process-agnostic.
+    Hitting the budget raises
+    :class:`~repro.resilience.errors.CellTimeout` — the transient-failure
+    class the sweep retry policy already understands — instead of the hard
+    :class:`~repro.resilience.errors.SimulationError` a genuine cycle-limit
+    wedge produces. Livelock detection stays inherited: a truly stuck run
+    is still a hard failure, budget or not.
+    """
+
+    def __init__(self, budget: int, **kwargs):
+        if budget < 1:
+            raise ValueError("cycle budget must be >= 1")
+        super().__init__(max_cycles=budget, **kwargs)
+
+    def cycle_limit_exceeded(self, bundle_source, *, now: int, max_cycles: int,
+                             retired: int, total: int) -> CellTimeout:
+        # No crash bundle: running out of budget is expected control flow
+        # for oversized cells, not a pipeline post-mortem.
+        return CellTimeout(
+            f"cell exceeded cycle budget {max_cycles} "
+            f"(retired {retired}/{total} at cycle {now})"
+        )

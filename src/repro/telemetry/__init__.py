@@ -39,10 +39,14 @@ def metrics_catalog() -> StatsRegistry:
     """The canonical registry: every metric a default pipeline registers.
 
     Builds a minimal :class:`~repro.uarch.pipeline.Pipeline` (no run) so
-    registration alone populates the registry. ``docs/METRICS.md`` and the
-    ``scripts/check_metrics_docs.py`` lint are defined against this set.
+    registration alone populates the registry, then adds the parallel
+    execution layer's cache/pool counters (docs/PARALLEL.md).
+    ``docs/METRICS.md`` and the ``scripts/check_metrics_docs.py`` lint are
+    defined against this set.
     """
     from ..isa import Asm, execute  # local import: avoids a package cycle
+    from ..parallel.cache import CacheStats
+    from ..parallel.executor import PoolStats
     from ..uarch.config import CoreConfig
     from ..uarch.pipeline import Pipeline
 
@@ -50,4 +54,7 @@ def metrics_catalog() -> StatsRegistry:
     a.movi("r1", 0)
     a.halt()
     pipeline = Pipeline(execute(a.build()), CoreConfig.skylake())
-    return pipeline.telemetry
+    registry = pipeline.telemetry
+    CacheStats().register_into(registry)
+    PoolStats().register_into(registry)
+    return registry

@@ -10,7 +10,7 @@ UPC timeline used to regenerate Figure 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 
 @dataclass
@@ -121,6 +121,49 @@ class SimStats:
         if stats is None:
             stats = self.branch_pcs[pc] = PcBranchStats()
         return stats
+
+    # -- serialization ---------------------------------------------------------
+    #
+    # The parallel layer (repro.parallel) moves results across process
+    # boundaries and stores them in the content-addressed cache as JSON, so
+    # the round trip must be exact: from_dict(json(to_dict(s))) == s.
+
+    def to_dict(self) -> dict:
+        """JSON-serializable dict of every field (per-PC keys as strings)."""
+        data = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name in ("load_pcs", "branch_pcs"):
+                data[f.name] = {str(pc): asdict(s) for pc, s in value.items()}
+            elif f.name == "rob_head_stall_by_pc":
+                data[f.name] = {str(pc): n for pc, n in value.items()}
+            elif f.name == "upc_timeline":
+                data[f.name] = list(value)
+            else:
+                data[f.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimStats":
+        """Exact inverse of :meth:`to_dict` (accepts int or str PC keys)."""
+        data = dict(data)
+        load_pcs = {
+            int(pc): PcLoadStats(**s)
+            for pc, s in data.pop("load_pcs", {}).items()
+        }
+        branch_pcs = {
+            int(pc): PcBranchStats(**s)
+            for pc, s in data.pop("branch_pcs", {}).items()
+        }
+        rob_by_pc = {
+            int(pc): n for pc, n in data.pop("rob_head_stall_by_pc", {}).items()
+        }
+        return cls(
+            load_pcs=load_pcs,
+            branch_pcs=branch_pcs,
+            rob_head_stall_by_pc=rob_by_pc,
+            **data,
+        )
 
     def register_into(self, registry) -> None:
         """Back every aggregate field with a collector in ``registry``.

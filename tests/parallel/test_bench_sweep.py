@@ -1,0 +1,37 @@
+"""scripts/bench_sweep.py: the recorded evidence must hold at any scale."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "bench_sweep.py"
+
+
+def load_bench():
+    spec = importlib.util.spec_from_file_location("bench_sweep", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_records_full_warm_hit_rate(tmp_path):
+    bench = load_bench()
+    output = tmp_path / "BENCH_sweep.json"
+    rc = bench.main([
+        "--workloads", "mcf,lbm",
+        "--scale", "0.05",
+        "--jobs", "2",
+        "--output", str(output),
+        "--work-dir", str(tmp_path / "work"),
+    ])
+    assert rc == 0
+
+    record = json.loads(output.read_text())
+    assert record["cells"] == 4
+    assert record["cache_hits"] == 4  # every warm cell answered by the cache
+    assert record["warm_hit_rate"] == 1.0
+    assert record["warm_wall_s"] < record["cold_wall_s"]
+    assert record["speedup_warm_over_cold"] > 1

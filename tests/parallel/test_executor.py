@@ -1,0 +1,145 @@
+"""Executor: determinism, ordering, caching, retries, failure policy."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.parallel import CellSpec, PoolStats, ResultCache, run_cells
+from repro.parallel.executor import _pool_run_cell, run_cell_spec
+
+FAST = dict(scale=0.05)
+
+
+def spec(workload="mcf", mode="ooo", **kw):
+    kw = {**FAST, **kw}
+    return CellSpec(workload=workload, mode=mode, **kw)
+
+
+def test_results_keep_input_order_and_identity():
+    specs = [spec("mcf"), spec("lbm"), spec("mcf", "crisp")]
+    results = run_cells(specs, jobs=1)
+    assert [r.spec for r in results] == specs
+    assert all(r.ok for r in results)
+    assert results[0].stats != results[1].stats
+
+
+def test_subprocess_worker_matches_in_process_run():
+    """Cross-process determinism: pool workers reproduce in-process stats
+    bit-for-bit (guards against RNG/global-state leaks in workload
+    generation)."""
+    specs = [spec("mcf"), spec("mcf", "crisp"), spec("lbm")]
+    serial = run_cells(specs, jobs=1)
+    pooled = run_cells(specs, jobs=2)
+    for s, p in zip(serial, pooled):
+        assert p.stats == s.stats
+        assert p.ipc == s.ipc
+        assert p.critical_pcs == s.critical_pcs
+
+
+def test_worker_is_immune_to_global_rng_state():
+    """run_cell_spec must not depend on ambient `random` module state."""
+    random.seed(1)
+    first = run_cell_spec(spec("mcf"))
+    random.seed(999)
+    random.random()
+    second = run_cell_spec(spec("mcf"))
+    assert first == second
+
+
+def test_second_run_hits_cache_for_every_cell(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    specs = [spec("mcf"), spec("lbm"), spec("mcf", "crisp")]
+    cold = run_cells(specs, jobs=1, cache=cache)
+    assert cache.stats.hits == 0 and cache.stats.stores == len(specs)
+
+    warm = run_cells(specs, jobs=1, cache=cache)
+    # The acceptance bar: every unchanged cell is a hit on re-invocation.
+    assert cache.stats.hits == len(specs)
+    for c, w in zip(cold, warm):
+        assert w.from_cache and not c.from_cache
+        assert w.stats == c.stats
+
+
+def test_cached_results_survive_pool_boundary(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    specs = [spec("mcf"), spec("lbm")]
+    cold = run_cells(specs, jobs=2, cache=cache)
+    warm = run_cells(specs, jobs=2, cache=cache)
+    assert [r.stats for r in warm] == [r.stats for r in cold]
+    assert all(r.from_cache for r in warm)
+
+
+def test_pool_stats_accounting(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    stats = PoolStats()
+    specs = [spec("mcf"), spec("lbm")]
+    run_cells(specs, jobs=1, cache=cache, stats=stats)
+    run_cells(specs, jobs=1, cache=cache, stats=stats)
+    assert stats.cells_total == 4
+    assert stats.cells_executed == 2
+    assert stats.cells_cached == 2
+    assert stats.hard_failures == 0
+
+
+def test_cycle_budget_times_out_and_retries():
+    stats = PoolStats()
+    results = run_cells([spec(cycle_budget=50)], jobs=1, retries=2, stats=stats)
+    cell = results[0]
+    assert cell.status == "failed"
+    assert cell.error_type == "CellTimeout"
+    assert cell.attempts == 3
+    assert stats.timeouts == 3
+    assert stats.retries == 2
+    assert stats.hard_failures == 1
+
+
+def test_cycle_budget_times_out_in_pool_worker():
+    cell = run_cells([spec(cycle_budget=50)], jobs=2, retries=0)[0]
+    assert cell.status == "failed"
+    assert cell.error_type == "CellTimeout"
+    assert cell.attempts == 1
+
+
+def test_generous_cycle_budget_changes_nothing():
+    plain, budgeted = run_cells(
+        [spec(), spec(cycle_budget=10_000_000)], jobs=1
+    )
+    assert plain.stats == budgeted.stats
+    assert plain.key == budgeted.key  # budget is not part of the identity
+
+
+def test_configuration_error_propagates_serial():
+    with pytest.raises(ValueError, match="unknown mode"):
+        run_cells([spec(mode="turbo")], jobs=1)
+
+
+def test_configuration_error_propagates_pooled():
+    with pytest.raises(ValueError, match="unknown mode"):
+        run_cells([spec(mode="turbo"), spec("lbm")], jobs=2)
+
+
+def test_failed_cells_do_not_poison_the_cache(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    run_cells([spec(cycle_budget=50)], jobs=1, retries=0, cache=cache)
+    assert cache.stats.stores == 0
+    assert len(cache) == 0
+
+
+def test_worker_entry_reports_hard_failures_as_dicts():
+    """Simulator exceptions never cross the pickle boundary raw."""
+    outcome = _pool_run_cell(spec(cycle_budget=50))
+    assert outcome["ok"] is False
+    assert outcome["transient"] is True
+    assert outcome["error_type"] == "CellTimeout"
+
+
+def test_explicit_critical_pcs_are_honoured():
+    derived = run_cells([spec("mcf", "crisp")], jobs=1)[0]
+    assert derived.critical_pcs, "expected the FDO flow to tag instructions"
+    explicit = run_cells(
+        [spec("mcf", "crisp", critical_pcs=tuple(derived.critical_pcs))], jobs=1
+    )[0]
+    assert explicit.stats == derived.stats
+    assert explicit.key != derived.key  # explicit annotation, different identity

@@ -1,0 +1,62 @@
+"""SimStats serialization: the cache's payload must round-trip exactly."""
+
+from __future__ import annotations
+
+import json
+
+from repro.sim.simulator import simulate
+from repro.uarch.stats import PcBranchStats, PcLoadStats, SimStats
+from repro.workloads import get_workload
+
+
+def roundtrip(stats: SimStats) -> SimStats:
+    """to_dict -> JSON wire -> from_dict, as the cache does it."""
+    return SimStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+
+
+def test_empty_stats_round_trip():
+    assert roundtrip(SimStats()) == SimStats()
+
+
+def test_handcrafted_stats_round_trip_exactly():
+    stats = SimStats(
+        cycles=123,
+        retired=456,
+        rob_head_stall_cycles=7,
+        dram_row_hit_rate=0.625,
+        upc_window=100,
+        upc_timeline=[4, 5, 6],
+        rob_head_stall_by_pc={12: 3, 99: 1},
+    )
+    stats.load_stats(12).execs = 10
+    stats.load_stats(12).llc_misses = 4
+    stats.load_stats(12).latency_sum = 991
+    stats.branch_stats(7).execs = 20
+    stats.branch_stats(7).mispredicts = 3
+    back = roundtrip(stats)
+    assert back == stats
+    # Per-PC keys come back as ints, not the JSON strings they crossed as.
+    assert back.load_pcs[12] == PcLoadStats(execs=10, llc_misses=4, latency_sum=991)
+    assert back.branch_pcs[7] == PcBranchStats(execs=20, mispredicts=3)
+    assert back.rob_head_stall_by_pc == {12: 3, 99: 1}
+
+
+def test_real_run_round_trips_exactly():
+    """End-to-end guard: a populated per-PC profile survives the wire."""
+    workload = get_workload("mcf", scale=0.05)
+    stats = simulate(workload, "ooo", upc_window=50).stats
+    assert stats.load_pcs, "expected a populated per-PC load table"
+    back = roundtrip(stats)
+    assert back == stats
+    assert back.ipc == stats.ipc
+    assert back.upc_timeline == stats.upc_timeline
+
+
+def test_from_dict_rejects_unknown_fields():
+    data = SimStats().to_dict()
+    data["not_a_field"] = 1
+    try:
+        SimStats.from_dict(data)
+    except TypeError:
+        return
+    raise AssertionError("unknown field must not be silently dropped")

@@ -8,7 +8,7 @@ import signal
 import subprocess
 import sys
 import textwrap
-import time
+import threading
 
 import pytest
 
@@ -157,23 +157,46 @@ def test_config_error_propagates(tmp_path):
         runner.run()
 
 
-@pytest.mark.skipif(not hasattr(signal, "SIGALRM"), reason="needs SIGALRM")
 def test_timeout_is_transient(tmp_path):
     slow = {"on": True}
 
     def run_cell(workload, mode, **kw):
         if slow["on"]:
             slow["on"] = False
-            time.sleep(5)
+            raise CellTimeout("cell exceeded cycle budget 50")
         return ok_cell(workload, mode)
 
-    runner = make_runner(
-        tmp_path, run_cell, workloads=["alpha"], modes=["ooo"], timeout=0.2
-    )
+    runner = make_runner(tmp_path, run_cell, workloads=["alpha"], modes=["ooo"])
     state = runner.run()
     cell = state["cells"]["alpha/ooo"]
     assert cell["status"] == "done"
     assert cell["attempts"] == 2
+
+
+def test_cycle_budget_timeout_works_off_main_thread(tmp_path):
+    """The old SIGALRM wall-clock alarm silently never fired off the POSIX
+    main thread; the cycle-budget watchdog must time cells out anywhere."""
+    results = {}
+
+    def run():
+        runner = SweepRunner(
+            workloads=["mcf"],
+            modes=["ooo"],
+            checkpoint_path=str(tmp_path / "budget.json"),
+            scale=0.05,
+            cycle_budget=50,
+            retries=0,
+        )
+        results["state"] = runner.run()
+
+    worker = threading.Thread(target=run)
+    worker.start()
+    worker.join(timeout=120)
+    assert not worker.is_alive()
+    cell = results["state"]["cells"]["mcf/ooo"]
+    assert cell["status"] == "failed"
+    assert cell["error_type"] == "CellTimeout"
+    assert "cycle budget" in cell["error"]
 
 
 def test_scale_mismatch_rejected(tmp_path):

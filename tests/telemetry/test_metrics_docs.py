@@ -32,7 +32,7 @@ def test_catalog_covers_every_subsystem():
 
     names = set(metrics_catalog().names())
     roots = {name.split(".", 1)[0] for name in names}
-    assert roots == {"core", "frontend", "uarch", "memory"}
+    assert roots == {"core", "frontend", "uarch", "memory", "parallel"}
     # Spot-check one metric per ISSUE-listed structure family.
     for expected in (
         "core.cycles",
