@@ -12,6 +12,11 @@ PYTHONPATH=src python scripts/bench_sweep.py --workloads mcf,lbm --jobs 4
 The recorded warm/cold ratio is the acceptance evidence for the parallel
 layer (docs/PARALLEL.md): identical per-cell results, every warm lookup a
 hit, and a wall-clock drop.
+
+A second section benchmarks sampled simulation (docs/SAMPLING.md): one
+full detailed run vs a ``--sample`` run of the same workload, recording
+wall-clock for both, the detailed-cycle reduction, and the absolute IPC
+error — the acceptance evidence for the sampling layer.
 """
 
 from __future__ import annotations
@@ -49,6 +54,39 @@ def run_pass(workloads, modes, scale, jobs, cache, checkpoint_path):
     return elapsed, results
 
 
+def bench_sampled_vs_full(workload_name: str, scale: float, sample: str) -> dict:
+    """Time one full detailed run against a sampled run of the same cell."""
+    from repro.sampling import parse_sample, simulate_sampled
+    from repro.sim import simulate
+    from repro.workloads import get_workload
+
+    workload = get_workload(workload_name, scale=scale)
+    start = time.perf_counter()
+    full = simulate(workload, "ooo").stats
+    full_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    est = simulate_sampled(workload, "ooo", plan=parse_sample(sample))
+    sampled_s = time.perf_counter() - start
+
+    error = abs(est.ipc - full.ipc) / full.ipc if full.ipc else 0.0
+    return {
+        "workload": workload_name,
+        "scale": scale,
+        "sample": sample,
+        "full_wall_s": round(full_s, 3),
+        "sampled_wall_s": round(sampled_s, 3),
+        "wall_speedup": round(full_s / sampled_s, 2) if sampled_s else None,
+        "full_ipc": round(full.ipc, 4),
+        "sampled_ipc": round(est.ipc, 4),
+        "abs_ipc_error_pct": round(100 * error, 2),
+        "full_cycles": full.cycles,
+        "detailed_cycles": est.detailed_cycles,
+        "detailed_cycle_reduction": round(full.cycles / est.detailed_cycles, 2)
+        if est.detailed_cycles else None,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workloads", default="mcf,lbm,deepsjeng,xz")
@@ -61,6 +99,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--work-dir", default=None, metavar="DIR",
         help="scratch directory for cache + checkpoints (default: temp)",
+    )
+    parser.add_argument(
+        "--sample", default="smarts:1000/10000", metavar="SPEC",
+        help="plan for the sampled-vs-full section (docs/SAMPLING.md)",
+    )
+    parser.add_argument(
+        "--sample-workload", default="mcf",
+        help="workload for the sampled-vs-full section",
+    )
+    parser.add_argument(
+        "--sample-scale", type=float, default=4.0,
+        help="scale for the sampled-vs-full section (acceptance: >= 4)",
     )
     args = parser.parse_args(argv)
 
@@ -97,6 +147,9 @@ def main(argv=None) -> int:
         "cache_hits": cache.stats.hits,
         "cache_misses": cache.stats.misses,
         "warm_hit_rate": cache.stats.hits / cells if cells else 0.0,
+        "sampled_vs_full": bench_sampled_vs_full(
+            args.sample_workload, args.sample_scale, args.sample
+        ),
     }
     pathlib.Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
     print(json.dumps(record, indent=2))

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Lint: every docs/*.md page must be reachable from the README.
+
+A doc nobody links to is a doc nobody reads: each page under ``docs/``
+must be referenced (as ``docs/<NAME>.md``) somewhere in ``README.md``.
+Fails (exit 1) listing the orphaned pages otherwise. Runs standalone
+(``python scripts/check_docs_index.py``) and inside tier-1
+(``tests/test_docs_index.py``), mirroring ``check_metrics_docs.py`` and
+``check_invariant_catalog.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def check(readme_text: str | None = None,
+          doc_names: list[str] | None = None) -> list[str]:
+    """Return one problem string per docs page the README never mentions."""
+    if readme_text is None:
+        readme_text = (REPO_ROOT / "README.md").read_text()
+    if doc_names is None:
+        doc_names = sorted(p.name for p in (REPO_ROOT / "docs").glob("*.md"))
+    problems = []
+    for name in doc_names:
+        if f"docs/{name}" not in readme_text:
+            problems.append(
+                f"docs/{name} is not linked from README.md; add a reference "
+                "(every docs page must be discoverable from the README)"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    for problem in problems:
+        print(problem)
+    if problems:
+        return 1
+    count = len(list((REPO_ROOT / "docs").glob("*.md")))
+    print(f"README.md indexes all {count} docs pages")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

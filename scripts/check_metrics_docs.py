@@ -71,8 +71,9 @@ def render_table() -> str:
         "uarch": "Back end (scheduler, ROB, LSQ, ports)",
         "memory": "Memory hierarchy",
         "parallel": "Parallel execution (result cache, process pool)",
+        "sampling": "Sampled simulation (intervals, warmup, estimator)",
     }
-    for group in ("core", "frontend", "uarch", "memory", "parallel"):
+    for group in ("core", "frontend", "uarch", "memory", "parallel", "sampling"):
         metrics = groups.pop(group, [])
         if not metrics:
             continue

@@ -35,6 +35,8 @@ def cmd_simulate(args) -> int:
     from .resilience import SimulationError, Watchdog
 
     workload = get_workload(args.workload, variant=args.variant, scale=args.scale)
+    if args.sample != "off":
+        return _simulate_sampled(args, workload)
     tracer = None
     if args.trace is not None:
         tracer = EventTracer(
@@ -73,6 +75,39 @@ def cmd_simulate(args) -> int:
         with open(json_path, "w") as handle:
             handle.write(report.to_json())
         print(f"report: {args.report} (+ {json_path})")
+    return 0
+
+
+def _simulate_sampled(args, workload) -> int:
+    """``simulate --sample=...``: sampled estimate instead of a full run."""
+    from .resilience import SimulationError
+    from .sampling import SamplingStats, parse_sample, simulate_sampled
+
+    if args.trace is not None or args.report is not None:
+        print(
+            "--trace/--report need a full run; drop --sample to use them",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        plan = parse_sample(args.sample)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    stats = SamplingStats()
+    try:
+        estimate = simulate_sampled(
+            workload,
+            args.mode,
+            plan=plan,
+            invariants=args.invariants,
+            stats=stats,
+        )
+    except SimulationError as exc:
+        print(f"simulation failed: {exc}", file=sys.stderr)
+        return 1
+    print(estimate.summary())
+    print(estimate.extrapolated.summary())
     return 0
 
 
@@ -122,6 +157,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--mode", default="ooo", help="ooo | crisp | ibda-1k | ...")
     p.add_argument("--variant", default="ref")
     p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument(
+        "--sample", default="off", metavar="SPEC",
+        help="sampled simulation: off | smarts:<detail>/<period> | "
+        "simpoint:<k>[/<interval>] (docs/SAMPLING.md; default: off)",
+    )
     p.add_argument(
         "--trace",
         nargs="?",

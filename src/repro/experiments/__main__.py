@@ -39,6 +39,7 @@ def run_sweep(args) -> int:
         crash_dir=args.crash_dir,
         jobs=args.jobs,
         cache=build_cache(args),
+        sample=args.sample,
         on_cell=lambda key, cell: print(f"  {key}: {cell['status']}", flush=True),
     )
     state = runner.run(resume=args.resume, retry_failed=args.retry_failed)
@@ -83,6 +84,11 @@ def main(argv: list[str] | None = None) -> int:
         "--no-cache", action="store_true",
         help="disable the result cache (always re-simulate)",
     )
+    execution.add_argument(
+        "--sample", default="off", metavar="SPEC",
+        help="sampled simulation: off | smarts:<detail>/<period> | "
+        "simpoint:<k>[/<interval>] (docs/SAMPLING.md; default: off)",
+    )
     sweep = parser.add_argument_group("sweep options")
     sweep.add_argument(
         "--checkpoint", default="sweep_checkpoint.json", metavar="PATH",
@@ -119,13 +125,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.sample != "off":
+        from ..sampling import parse_sample
+
+        try:
+            parse_sample(args.sample)
+        except ValueError as exc:
+            parser.error(str(exc))
+
     if args.experiment == "sweep":
         return run_sweep(args)
 
     from .common import execution_context
 
     names = [args.experiment] if args.experiment != "all" else sorted(EXPERIMENTS)
-    with execution_context(jobs=args.jobs, cache=build_cache(args)):
+    with execution_context(jobs=args.jobs, cache=build_cache(args),
+                           sample=args.sample):
         for name in names:
             kwargs = {}
             if name not in ("table1",):

@@ -40,6 +40,9 @@ class ExecutionOptions:
     jobs: int = 1
     cache: object = None  # repro.parallel.ResultCache | None
     retries: int = 1
+    #: ``--sample`` spec ("off" | "smarts:<d>/<p>" | "simpoint:<k>[/<i>]");
+    #: anything but "off" routes run_cells through the sampled estimator.
+    sample: str = "off"
 
 
 _EXECUTION = ExecutionOptions()
@@ -47,7 +50,7 @@ _EXECUTION = ExecutionOptions()
 
 @contextmanager
 def execution_context(*, jobs: int | None = None, cache=None,
-                      retries: int | None = None):
+                      retries: int | None = None, sample: str | None = None):
     """Scope the pool size / result cache for every ``run_cells`` inside."""
     global _EXECUTION
     previous = _EXECUTION
@@ -58,6 +61,8 @@ def execution_context(*, jobs: int | None = None, cache=None,
         updates["cache"] = cache
     if retries is not None:
         updates["retries"] = retries
+    if sample is not None:
+        updates["sample"] = sample
     _EXECUTION = replace(previous, **updates)
     try:
         yield _EXECUTION
@@ -70,8 +75,20 @@ def run_cells(specs) -> list[CellResult]:
 
     The shared execution path of the figure modules: results come back in
     input order whatever the completion order, so callers index them
-    positionally against ``specs``.
+    positionally against ``specs``. With a ``sample`` context active, each
+    cell's stats are the sampled estimator's extrapolated whole-run view
+    (same shape, so figure code is oblivious to the sampling).
     """
+    if _EXECUTION.sample != "off":
+        from ..sampling import parse_sample, run_cells_sampled
+
+        return run_cells_sampled(
+            list(specs),
+            parse_sample(_EXECUTION.sample),
+            jobs=_EXECUTION.jobs,
+            cache=_EXECUTION.cache,
+            retries=_EXECUTION.retries,
+        )
     return _parallel_run_cells(
         list(specs),
         jobs=_EXECUTION.jobs,

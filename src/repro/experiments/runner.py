@@ -105,6 +105,10 @@ class SweepRunner:
     crash_dir: str | None = None
     #: Worker processes for pending cells (<= 1 runs in-process).
     jobs: int = 1
+    #: Sampled simulation spec ("off" | "smarts:<d>/<p>" |
+    #: "simpoint:<k>[/<i>]"); anything but "off" runs every cell through
+    #: the interval-parallel sampled estimator (docs/SAMPLING.md).
+    sample: str = "off"
     #: Content-addressed result cache (repro.parallel.ResultCache) or None.
     cache: object = None
     #: Injectable for tests; signature of :func:`default_run_cell`.
@@ -125,6 +129,7 @@ class SweepRunner:
         return {
             "version": CHECKPOINT_VERSION,
             "scale": self.scale,
+            "sample": self.sample,
             "workloads": list(self.workloads),
             "modes": list(self.modes),
             "cells": {},
@@ -142,6 +147,12 @@ class SweepRunner:
             raise ValueError(
                 f"checkpoint {self.checkpoint_path} was taken at scale "
                 f"{state.get('scale')}, not {self.scale}; results would mix"
+            )
+        if state.get("sample", "off") != self.sample:
+            raise ValueError(
+                f"checkpoint {self.checkpoint_path} was taken with "
+                f"--sample={state.get('sample', 'off')}, not "
+                f"{self.sample}; full and sampled rows would mix"
             )
         return state
 
@@ -211,18 +222,32 @@ class SweepRunner:
             for workload, mode in pending
         ]
         self.pool_stats = PoolStats()
+        # Checkpoint incrementally, in completion order: a kill at any
+        # instant loses at most the in-flight cells.
+        on_result = lambda result: self._record(  # noqa: E731
+            self.cell_key(result.spec.workload, result.spec.mode),
+            result.checkpoint_row(),
+        )
+        if self.sample != "off":
+            from ..sampling import parse_sample, run_cells_sampled
+
+            run_cells_sampled(
+                specs,
+                parse_sample(self.sample),
+                jobs=self.jobs,
+                cache=self.cache,
+                retries=self.retries,
+                stats=self.pool_stats,
+                on_result=on_result,
+            )
+            return
         run_cells(
             specs,
             jobs=self.jobs,
             cache=self.cache,
             retries=self.retries,
             stats=self.pool_stats,
-            # Checkpoint incrementally, in completion order: a kill at any
-            # instant loses at most the in-flight cells.
-            on_result=lambda result: self._record(
-                self.cell_key(result.spec.workload, result.spec.mode),
-                result.checkpoint_row(),
-            ),
+            on_result=on_result,
         )
 
     def _run_injected(self, pending: list[tuple[str, str]]) -> None:

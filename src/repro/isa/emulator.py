@@ -53,6 +53,12 @@ class ExecutionTrace:
     final_regs: list[int]
     halted: bool
     exec_counts: dict[int, int] = field(default_factory=dict)
+    # Lazy per-PC index: pc -> positions in ``insts``. Built on the first
+    # ``instances_of`` call (one scan) and shared with ``dynamic_count``,
+    # so repeated per-PC queries never rescan the dynamic stream.
+    _pc_index: dict[int, list[int]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.insts)
@@ -63,13 +69,36 @@ class ExecutionTrace:
     def __getitem__(self, seq: int) -> DynInst:
         return self.insts[seq]
 
+    def pc_index(self) -> dict[int, list[int]]:
+        """The per-PC position index, built lazily on first use."""
+        if self._pc_index is None:
+            index: dict[int, list[int]] = {}
+            for pos, d in enumerate(self.insts):
+                index.setdefault(d.pc, []).append(pos)
+            self._pc_index = index
+        return self._pc_index
+
     def dynamic_count(self, pc: int) -> int:
         """Number of times static instruction ``pc`` executed."""
-        return self.exec_counts.get(pc, 0)
+        if self.exec_counts:
+            return self.exec_counts.get(pc, 0)
+        # Hand-built traces (tests) may omit exec_counts; fall back to the
+        # same lazy index instances_of uses.
+        return len(self.pc_index().get(pc, ()))
 
     def instances_of(self, pc: int) -> list[DynInst]:
         """All dynamic instances of static instruction ``pc`` (in order)."""
-        return [d for d in self.insts if d.pc == pc]
+        insts = self.insts
+        return [insts[pos] for pos in self.pc_index().get(pc, ())]
+
+    def pc_after(self, seq: int) -> int:
+        """Static PC of the instruction that follows position ``seq``.
+
+        Sampled simulation replays sub-ranges of a trace; a
+        :class:`~repro.sampling.intervals.TraceSlice` overrides this to
+        answer for its boundary instruction from the parent trace.
+        """
+        return self.insts[seq + 1].pc
 
 
 def execute(

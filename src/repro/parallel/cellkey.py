@@ -36,7 +36,8 @@ from ..workloads.base import VARIANT_SEEDS
 
 #: Bump when simulator behaviour or the cached payload format changes; old
 #: cache entries then miss (different key) instead of poisoning results.
-CACHE_SCHEMA_VERSION = 1
+#: v2: interval cells (repro.sampling) — the key gains a sampling recipe.
+CACHE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,12 @@ class CellSpec:
     crisp_config: CrispConfig | None = None
     #: Core configuration; ``None`` means the Table 1 Skylake preset.
     config: CoreConfig | None = None
+    #: Sampled simulation (repro.sampling): detailed-simulate only trace
+    #: positions ``[start, end)``. ``None`` runs the full trace.
+    interval: tuple[int, int] | None = None
+    #: Warmup recipe for an interval cell ("functional" | "none"); part of
+    #: the key only when ``interval`` is set.
+    warmup: str = "functional"
     # Execution-only knobs (not part of the cell key).
     invariants: str | None = None
     cycle_budget: int | None = None
@@ -84,7 +91,7 @@ def _annotation_entry(spec: CellSpec):
 
 def cell_payload(spec: CellSpec) -> dict:
     """The canonical (JSON-serializable) dict the key is hashed over."""
-    return {
+    payload = {
         "schema": CACHE_SCHEMA_VERSION,
         "workload": spec.workload,
         "variant": spec.variant,
@@ -94,6 +101,12 @@ def cell_payload(spec: CellSpec) -> dict:
         "annotation": _annotation_entry(spec),
         "config": dataclasses.asdict(spec.core_config()),
     }
+    if spec.interval is not None:
+        payload["sampling"] = {
+            "interval": list(spec.interval),
+            "warmup": spec.warmup,
+        }
+    return payload
 
 
 def cell_key(spec: CellSpec) -> str:

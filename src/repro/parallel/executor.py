@@ -101,6 +101,9 @@ class CellResult:
     error: str | None = None
     error_type: str | None = None
     crash_bundle: str | None = None
+    #: Set on synthesized sampled-run results (repro.sampling.cells): the
+    #: SampledEstimate the stats/ipc fields were assembled from.
+    estimate: object = None
 
     @property
     def ok(self) -> bool:
@@ -124,6 +127,8 @@ class CellResult:
                 ipc=self.ipc, cycles=stats.cycles, retired=stats.retired,
                 cached=self.from_cache,
             )
+            if self.estimate is not None:
+                row["sampled"] = self.estimate.brief()
         else:
             row.update(error=self.error, error_type=self.error_type)
             if self.crash_bundle:
@@ -176,14 +181,30 @@ def run_cell_spec(spec: CellSpec) -> dict:
         watchdog = Watchdog(crash_dir=spec.crash_dir, context=context)
 
     workload = get_workload(spec.workload, variant=spec.variant, scale=spec.scale)
-    result = simulate(
-        workload,
-        spec.mode,
-        config=config,
-        critical_pcs=critical,
-        invariants=spec.invariants,
-        watchdog=watchdog,
-    )
+    if spec.interval is not None:
+        # Interval cell (repro.sampling): detailed-simulate only this
+        # trace range behind functionally warmed state.
+        from ..sampling.sampler import simulate_interval
+
+        result = simulate_interval(
+            workload,
+            spec.mode,
+            interval=tuple(spec.interval),
+            config=config,
+            critical_pcs=critical,
+            warmup=spec.warmup,
+            invariants=spec.invariants,
+            watchdog=watchdog,
+        )
+    else:
+        result = simulate(
+            workload,
+            spec.mode,
+            config=config,
+            critical_pcs=critical,
+            invariants=spec.invariants,
+            watchdog=watchdog,
+        )
     return {
         "workload": spec.workload,
         "mode": spec.mode,

@@ -1,0 +1,168 @@
+"""Sampled-simulation orchestration.
+
+``simulate_interval`` runs one trace interval through the detailed
+pipeline behind functionally warmed state; ``simulate_sampled`` plans the
+intervals for a whole workload (systematic SMARTS schedule or SimPoint
+selection), runs each one serially, and combines them into a
+:class:`~repro.sampling.estimate.SampledEstimate`. Interval-parallel
+execution over the process pool lives in :mod:`repro.sampling.cells`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.simulator import SimResult, resolve_mode
+from ..uarch.config import CoreConfig
+from ..uarch.pipeline import Pipeline
+from .estimate import SampledEstimate, estimate_from_intervals
+from .intervals import Interval, SamplingPlan, slice_trace, systematic_intervals
+from .simpoint import simpoint_intervals
+from .warmup import FunctionalWarmer
+
+#: Warmup policies an interval cell may request.
+WARMUP_POLICIES = ("functional", "none")
+
+
+@dataclass
+class SamplingStats:
+    """Execution counters for sampled runs (the ``sampling.*`` group)."""
+
+    runs: int = 0
+    intervals: int = 0
+    insts_total: int = 0
+    insts_detailed: int = 0
+    insts_warmed: int = 0
+    detailed_cycles: int = 0
+
+    def register_into(self, registry) -> None:
+        """Register collector-backed counters (docs/METRICS.md contract)."""
+        spec = (
+            ("sampling.runs", "runs", "runs",
+             "workload runs answered by the sampled estimator"),
+            ("sampling.intervals", "intervals", "intervals",
+             "trace intervals simulated in detail"),
+            ("sampling.insts_total", "insts_total", "insts",
+             "dynamic instructions the sampled runs stand for"),
+            ("sampling.insts_detailed", "insts_detailed", "insts",
+             "dynamic instructions simulated cycle-accurately"),
+            ("sampling.insts_warmed", "insts_warmed", "insts",
+             "dynamic instructions replayed by functional warmup"),
+            ("sampling.detailed_cycles", "detailed_cycles", "cycles",
+             "simulated cycles spent in detailed intervals"),
+        )
+        for name, field_name, unit, desc in spec:
+            registry.counter(
+                name,
+                unit=unit,
+                desc=desc,
+                owner="sampled simulation",
+                figure="",
+                collect=lambda f=field_name: getattr(self, f),
+            )
+
+
+def simulate_interval(
+    workload,
+    mode: str = "ooo",
+    *,
+    interval: tuple[int, int],
+    config: CoreConfig | None = None,
+    critical_pcs: frozenset[int] = frozenset(),
+    warmup: str = "functional",
+    invariants: str | None = None,
+    watchdog=None,
+    stats: SamplingStats | None = None,
+) -> SimResult:
+    """Detailed-simulate trace positions ``[start, end)`` of ``workload``.
+
+    ``warmup="functional"`` first replays ``[0, start)`` through a
+    :class:`~repro.sampling.warmup.FunctionalWarmer` and injects the
+    warmed cache hierarchy / predictor / BTB / RAS into the pipeline;
+    ``"none"`` starts the interval cold. The returned
+    :class:`~repro.sim.simulator.SimResult` carries the *interval's*
+    stats (cycles and retired count cover only the detailed region).
+    """
+    if warmup not in WARMUP_POLICIES:
+        raise ValueError(f"unknown warmup {warmup!r}; known: {WARMUP_POLICIES}")
+    config, critical, ibda = resolve_mode(mode, config, critical_pcs)
+    trace = workload.trace()
+    start, end = interval
+    if not 0 <= start < end <= len(trace.insts):
+        raise ValueError(
+            f"interval [{start}, {end}) outside trace of {len(trace.insts)} insts"
+        )
+    warm_components: dict = {}
+    if warmup == "functional" and start > 0:
+        warmer = FunctionalWarmer(trace.program, config, critical_pcs=critical)
+        warmer.warm(trace, 0, start)
+        warmer.finish()
+        warm_components = warmer.components()
+        if stats is not None:
+            stats.insts_warmed += start
+    run_context = {
+        "workload": workload.name, "mode": mode,
+        "interval": [start, end], "warmup": warmup,
+    }
+    pipeline = Pipeline(
+        slice_trace(trace, start, end),
+        config,
+        critical_pcs=critical,
+        ibda=ibda,
+        invariants=invariants,
+        watchdog=watchdog,
+        run_context=run_context,
+        **warm_components,
+    )
+    interval_stats = pipeline.run()
+    if stats is not None:
+        stats.intervals += 1
+        stats.insts_detailed += interval_stats.retired
+        stats.detailed_cycles += interval_stats.cycles
+    return SimResult(
+        workload.name, mode, interval_stats, critical, registry=pipeline.telemetry
+    )
+
+
+def plan_for_trace(plan: SamplingPlan, trace) -> list[Interval]:
+    """Materialise a plan's detailed intervals for one concrete trace."""
+    if plan.policy == "smarts":
+        return systematic_intervals(len(trace.insts), plan.detail, plan.period)
+    if plan.policy == "simpoint":
+        return simpoint_intervals(trace, plan.clusters, plan.interval)
+    raise ValueError(f"cannot plan intervals for policy {plan.policy!r}")
+
+
+def simulate_sampled(
+    workload,
+    mode: str = "ooo",
+    *,
+    plan: SamplingPlan,
+    config: CoreConfig | None = None,
+    critical_pcs: frozenset[int] = frozenset(),
+    invariants: str | None = None,
+    stats: SamplingStats | None = None,
+) -> SampledEstimate:
+    """Run ``workload`` sampled per ``plan`` and return the estimate."""
+    if plan.off:
+        raise ValueError("plan is 'off'; call repro.sim.simulate instead")
+    trace = workload.trace()
+    intervals = plan_for_trace(plan, trace)
+    interval_stats = [
+        simulate_interval(
+            workload,
+            mode,
+            interval=(iv.start, iv.end),
+            config=config,
+            critical_pcs=critical_pcs,
+            invariants=invariants,
+            stats=stats,
+        ).stats
+        for iv in intervals
+    ]
+    if stats is not None:
+        stats.runs += 1
+        stats.insts_total += len(trace.insts)
+    return estimate_from_intervals(
+        intervals, interval_stats, len(trace.insts), policy=plan.policy
+    )

@@ -1,7 +1,7 @@
 """Top-level simulation API."""
 
 from .comparison import WorkloadComparison, compare_workload, geomean
-from .simulator import MODES, SimResult, simulate
+from .simulator import MODES, SimResult, resolve_mode, simulate
 from .trace_export import TimingRow, collect_timing, export_csv, to_csv
 
 __all__ = [
@@ -10,6 +10,7 @@ __all__ = [
     "WorkloadComparison",
     "compare_workload",
     "geomean",
+    "resolve_mode",
     "simulate",
     "TimingRow",
     "collect_timing",

@@ -26,6 +26,35 @@ from ..workloads.base import Workload
 MODES = ("ooo", "crisp", "ibda-1k", "ibda-8k", "ibda-64k", "ibda-inf")
 
 
+def resolve_mode(
+    mode: str,
+    config: CoreConfig | None = None,
+    critical_pcs: frozenset[int] = frozenset(),
+):
+    """Validate ``mode`` and return ``(config, critical_pcs, ibda)``.
+
+    The shared mode-resolution used by :func:`simulate` and the sampled
+    path (:mod:`repro.sampling.sampler`): the returned config carries the
+    mode's scheduler policy, ``critical_pcs`` is non-empty only in
+    ``"crisp"`` mode, and ``ibda`` is an engine instance for the hardware
+    IBDA modes (``None`` otherwise).
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; known: {MODES}")
+    if critical_pcs and mode != "crisp":
+        raise ValueError(
+            f"critical_pcs passed in mode {mode!r}: annotations are only "
+            "consumed in 'crisp' mode; this usually means a mislabeled sweep"
+        )
+    config = config or CoreConfig.skylake()
+    if mode == "ooo":
+        return config.with_scheduler("oldest_first"), frozenset(), None
+    if mode == "crisp":
+        return config.with_scheduler("crisp"), frozenset(critical_pcs), None
+    size = mode.split("-", 1)[1]
+    return config.with_scheduler("crisp"), frozenset(), make_ibda(size)
+
+
 @dataclass
 class SimResult:
     """One timing run."""
@@ -77,48 +106,20 @@ def simulate(
     overrides livelock/cycle limits, and ``crash_dir`` makes failures write
     a crash bundle there (shorthand for a watchdog with that directory).
     """
-    if mode not in MODES:
-        raise ValueError(f"unknown mode {mode!r}; known: {MODES}")
-    if critical_pcs and mode != "crisp":
-        raise ValueError(
-            f"critical_pcs passed in mode {mode!r}: annotations are only "
-            "consumed in 'crisp' mode; this usually means a mislabeled sweep"
-        )
+    config, used, ibda = resolve_mode(mode, config, critical_pcs)
     if watchdog is None and crash_dir is not None:
         watchdog = Watchdog(crash_dir=crash_dir)
     run_context = {"workload": workload.name, "mode": mode}
     resilience = dict(invariants=invariants, watchdog=watchdog, run_context=run_context)
-    config = config or CoreConfig.skylake()
     trace = workload.trace()
-    if mode == "ooo":
-        pipeline = Pipeline(
-            trace,
-            config.with_scheduler("oldest_first"),
-            upc_window=upc_window,
-            tracer=tracer,
-            **resilience,
-        )
-        used = frozenset()
-    elif mode == "crisp":
-        pipeline = Pipeline(
-            trace,
-            config.with_scheduler("crisp"),
-            critical_pcs=critical_pcs,
-            upc_window=upc_window,
-            tracer=tracer,
-            **resilience,
-        )
-        used = frozenset(critical_pcs)
-    else:
-        size = mode.split("-", 1)[1]
-        pipeline = Pipeline(
-            trace,
-            config.with_scheduler("crisp"),
-            ibda=make_ibda(size),
-            upc_window=upc_window,
-            tracer=tracer,
-            **resilience,
-        )
-        used = frozenset()
+    pipeline = Pipeline(
+        trace,
+        config,
+        critical_pcs=used,
+        ibda=ibda,
+        upc_window=upc_window,
+        tracer=tracer,
+        **resilience,
+    )
     stats = pipeline.run()
     return SimResult(workload.name, mode, stats, used, registry=pipeline.telemetry)

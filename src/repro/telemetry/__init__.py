@@ -47,6 +47,7 @@ def metrics_catalog() -> StatsRegistry:
     from ..isa import Asm, execute  # local import: avoids a package cycle
     from ..parallel.cache import CacheStats
     from ..parallel.executor import PoolStats
+    from ..sampling.sampler import SamplingStats
     from ..uarch.config import CoreConfig
     from ..uarch.pipeline import Pipeline
 
@@ -57,4 +58,5 @@ def metrics_catalog() -> StatsRegistry:
     registry = pipeline.telemetry
     CacheStats().register_into(registry)
     PoolStats().register_into(registry)
+    SamplingStats().register_into(registry)
     return registry

@@ -75,6 +75,10 @@ class Pipeline:
         invariants: InvariantChecker | str | None = None,
         watchdog: Watchdog | None = None,
         run_context: dict | None = None,
+        hierarchy=None,
+        predictor=None,
+        btb: Btb | None = None,
+        ras: ReturnAddressStack | None = None,
     ):
         self.trace = trace
         self.config = config or CoreConfig()
@@ -86,10 +90,13 @@ class Pipeline:
         self.upc_window = upc_window
 
         cfg = self.config
-        self.hierarchy = MemoryHierarchy(cfg.hierarchy)
-        self.predictor = make_predictor(cfg.predictor)
-        self.btb = Btb(cfg.btb_entries)
-        self.ras = ReturnAddressStack(cfg.ras_depth)
+        # Long-lived microarchitectural state may be injected pre-warmed
+        # (sampled simulation functionally warms these across skipped trace
+        # regions; see repro.sampling.warmup). Default: cold structures.
+        self.hierarchy = hierarchy if hierarchy is not None else MemoryHierarchy(cfg.hierarchy)
+        self.predictor = predictor if predictor is not None else make_predictor(cfg.predictor)
+        self.btb = btb if btb is not None else Btb(cfg.btb_entries)
+        self.ras = ras if ras is not None else ReturnAddressStack(cfg.ras_depth)
         self.ftq = FetchTargetQueue(cfg.ftq_entries)
         self.fdip = Fdip(self.hierarchy, self.ftq, cfg.fdip_lines_per_cycle)
         self.ports = PortPools(cfg.alu_ports, cfg.load_ports, cfg.store_ports)
@@ -198,7 +205,7 @@ class Pipeline:
                 return "ok"
             # Correct taken prediction still needs the target from the BTB.
             known_target = self.btb.lookup(pc_addr)
-            actual_target = self.layout.addresses[self.trace[seq + 1].pc]
+            actual_target = self.layout.addresses[self.trace.pc_after(seq)]
             self.btb.update(pc_addr, actual_target)
             if known_target != actual_target:
                 stats.btb_misses += 1
@@ -209,7 +216,7 @@ class Pipeline:
         self.predictor.note_branch(True)
         if sinst.is_ret:
             predicted = self.ras.pop()
-            actual_target = self.layout.addresses[self.trace[seq + 1].pc]
+            actual_target = self.layout.addresses[self.trace.pc_after(seq)]
             if predicted != actual_target:
                 stats.ras_mispredicts += 1
                 return "mispredict"
@@ -219,7 +226,7 @@ class Pipeline:
             return_pc = sinst.idx + 1
             self.ras.push(self.layout.addresses[return_pc])
         known_target = self.btb.lookup(pc_addr)
-        actual_target = self.layout.addresses[self.trace[seq + 1].pc]
+        actual_target = self.layout.addresses[self.trace.pc_after(seq)]
         self.btb.update(pc_addr, actual_target)
         if known_target != actual_target:
             stats.btb_misses += 1

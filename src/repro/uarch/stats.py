@@ -122,6 +122,85 @@ class SimStats:
             stats = self.branch_pcs[pc] = PcBranchStats()
         return stats
 
+    # -- combination -----------------------------------------------------------
+    #
+    # Sampled simulation (repro.sampling) runs disjoint trace intervals
+    # through separate pipelines and needs one whole-run view: merge is the
+    # exact combine — every pure counter sums, per-PC tables merge bin-wise,
+    # and derived rates (IPC, miss rates, DRAM row-hit rate) recompute from
+    # the merged numerators/denominators instead of being averaged.
+
+    #: Scalar fields that combine by plain summation.
+    _SUMMED_FIELDS = (
+        "cycles", "retired",
+        "rob_head_stall_cycles", "fetch_stall_cycles", "icache_stall_cycles",
+        "issued", "issued_critical", "critical_bypass_events",
+        "cond_branches", "branch_mispredicts", "btb_misses", "ras_mispredicts",
+        "loads", "llc_load_misses", "store_forwards",
+        "dynamic_code_bytes",
+        "l1i_misses", "l1i_accesses", "l1d_misses", "l1d_accesses",
+        "llc_misses", "llc_accesses", "dram_requests",
+    )
+
+    @classmethod
+    def merge(cls, parts: "list[SimStats]") -> "SimStats":
+        """Exact combination of per-interval stats into one run's stats.
+
+        Counters sum; ``load_pcs``/``branch_pcs``/``rob_head_stall_by_pc``
+        merge per-PC field-wise; ``dram_row_hit_rate`` is recomputed from
+        the merged row-hit numerator (rate x requests per part) over the
+        merged request count; UPC timelines concatenate in part order when
+        every part used the same window (else the merged timeline is
+        dropped). Properties (`ipc`, miss rates, MPKI) need no handling —
+        they always recompute from the merged fields.
+        """
+        parts = list(parts)
+        merged = cls()
+        for name in cls._SUMMED_FIELDS:
+            setattr(merged, name, sum(getattr(p, name) for p in parts))
+        for part in parts:
+            for pc, src in part.load_pcs.items():
+                dst = merged.load_stats(pc)
+                for f in fields(PcLoadStats):
+                    setattr(dst, f.name, getattr(dst, f.name) + getattr(src, f.name))
+            for pc, src in part.branch_pcs.items():
+                dst = merged.branch_stats(pc)
+                dst.execs += src.execs
+                dst.mispredicts += src.mispredicts
+            for pc, n in part.rob_head_stall_by_pc.items():
+                merged.rob_head_stall_by_pc[pc] = (
+                    merged.rob_head_stall_by_pc.get(pc, 0) + n
+                )
+        # Row-hit rate: recover each part's hit count, re-derive the rate.
+        if merged.dram_requests:
+            row_hits = sum(p.dram_row_hit_rate * p.dram_requests for p in parts)
+            merged.dram_row_hit_rate = row_hits / merged.dram_requests
+        windows = {p.upc_window for p in parts}
+        if len(windows) == 1 and parts and parts[0].upc_window:
+            merged.upc_window = parts[0].upc_window
+            for part in parts:
+                merged.upc_timeline.extend(part.upc_timeline)
+        return merged
+
+    def scaled(self, factor: float) -> "SimStats":
+        """Extrapolated copy: every summed counter and per-PC table scaled.
+
+        Used by the sampled estimator to extrapolate the detailed-interval
+        counters to full-run magnitude; rates and rate-like fields are left
+        untouched (they are scale-invariant).
+        """
+        out = SimStats.merge([self])
+        for name in self._SUMMED_FIELDS:
+            setattr(out, name, round(getattr(self, name) * factor))
+        for table in (out.load_pcs, out.branch_pcs):
+            for stats in table.values():
+                for f in fields(stats):
+                    setattr(stats, f.name, round(getattr(stats, f.name) * factor))
+        out.rob_head_stall_by_pc = {
+            pc: round(n * factor) for pc, n in out.rob_head_stall_by_pc.items()
+        }
+        return out
+
     # -- serialization ---------------------------------------------------------
     #
     # The parallel layer (repro.parallel) moves results across process

@@ -142,3 +142,49 @@ def test_store_then_load_overwrite_order():
     load = trace[5]
     assert trace.final_regs[4] == 9
     assert load.mem_src == 4  # the second store
+
+
+class _ScanCountingList(list):
+    """Spy: counts full iterations over the instruction list."""
+
+    def __init__(self, items):
+        super().__init__(items)
+        self.scans = 0
+
+    def __iter__(self):
+        self.scans += 1
+        return super().__iter__()
+
+
+def test_instances_of_builds_pc_index_once(tiny_loop_program):
+    """Repeated instances_of/dynamic_count calls must not rescan the trace
+    (ISSUE satellite: lazy per-PC index shared by both)."""
+    trace = execute(tiny_loop_program)
+    spy = _ScanCountingList(trace.insts)
+    trace.insts = spy
+    trace._pc_index = None  # force a fresh build through the spy
+
+    first = trace.instances_of(2)
+    after_one = spy.scans
+    assert after_one <= 1
+    second = trace.instances_of(2)
+    trace.instances_of(4)
+    count = len(trace.pc_index().get(2, ()))
+    assert spy.scans == after_one  # no further scans: index is reused
+    assert first == second
+    assert len(first) == 20
+    assert count == 20
+
+
+def test_pc_index_matches_dynamic_counts(tiny_loop_program):
+    trace = execute(tiny_loop_program)
+    for pc in range(len(tiny_loop_program)):
+        assert len(trace.instances_of(pc)) == trace.dynamic_count(pc)
+    for pos in trace.pc_index().get(2, ()):
+        assert trace.insts[pos].pc == 2
+
+
+def test_pc_after_returns_next_dynamic_pc(tiny_loop_program):
+    trace = execute(tiny_loop_program)
+    for seq in range(len(trace.insts) - 1):
+        assert trace.pc_after(seq) == trace.insts[seq + 1].pc

@@ -35,3 +35,15 @@ def test_bench_records_full_warm_hit_rate(tmp_path):
     assert record["warm_hit_rate"] == 1.0
     assert record["warm_wall_s"] < record["cold_wall_s"]
     assert record["speedup_warm_over_cold"] > 1
+
+
+def test_bench_records_sampled_vs_full_section(tmp_path):
+    bench = load_bench()
+    row = bench.bench_sampled_vs_full("mcf", 0.5, "smarts:500/2000")
+    for key in (
+        "workload", "scale", "sample", "full_wall_s", "sampled_wall_s",
+        "wall_speedup", "full_ipc", "sampled_ipc", "abs_ipc_error_pct",
+        "full_cycles", "detailed_cycles", "detailed_cycle_reduction",
+    ):
+        assert key in row
+    assert row["detailed_cycles"] < row["full_cycles"]

@@ -1,0 +1,88 @@
+"""Interval cells through the pool + cache (ISSUE acceptance criteria).
+
+Sampled runs must compose with run_cells(): interval cells are ordinary
+content-addressed cells, pooled execution is bit-identical to serial, and
+re-running a sampled workload hits the cache for every interval.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import CellSpec, PoolStats, ResultCache
+from repro.sampling import parse_sample, run_cells_sampled, simulate_sampled
+from repro.sampling.cells import expand_spec
+from repro.workloads import get_workload
+
+PLAN = parse_sample("smarts:400/2000")
+FAST = dict(scale=0.2)
+
+
+def spec(workload="mcf", mode="ooo", **kw):
+    kw = {**FAST, **kw}
+    return CellSpec(workload=workload, mode=mode, **kw)
+
+
+def test_pooled_sampled_run_is_bit_identical_to_serial():
+    specs = [spec("mcf"), spec("xz")]
+    serial = run_cells_sampled(specs, PLAN, jobs=1)
+    pooled = run_cells_sampled(specs, PLAN, jobs=2)
+    for s, p in zip(serial, pooled):
+        assert s.ok and p.ok
+        assert p.ipc == s.ipc
+        assert p.stats.to_dict() == s.stats.to_dict()
+        assert p.estimate.brief() == s.estimate.brief()
+
+
+def test_sampled_cells_match_the_serial_sampler():
+    results = run_cells_sampled([spec("mcf")], PLAN, jobs=1)
+    direct = simulate_sampled(get_workload("mcf", **FAST), "ooo", plan=PLAN)
+    assert results[0].ipc == direct.ipc
+    assert results[0].stats.to_dict() == direct.extrapolated.to_dict()
+
+
+def test_interval_cells_hit_cache_on_rerun(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    specs = [spec("mcf")]
+
+    cold = run_cells_sampled(specs, PLAN, jobs=1, cache=cache)
+    assert not cold[0].from_cache
+    stored = cache.stats.stores
+    assert stored > 1  # one entry per interval cell
+
+    warm = run_cells_sampled(specs, PLAN, jobs=1, cache=cache)
+    assert warm[0].from_cache  # every child interval was a hit
+    assert cache.stats.hits == stored
+    assert warm[0].ipc == cold[0].ipc
+    assert warm[0].stats.to_dict() == cold[0].stats.to_dict()
+
+
+def test_off_plan_falls_back_to_plain_cells():
+    results = run_cells_sampled([spec("mcf")], parse_sample("off"), jobs=1)
+    assert results[0].ok
+    assert results[0].estimate is None
+
+
+def test_crisp_mode_derives_annotation_once_in_the_driver():
+    intervals, children, total, critical = expand_spec(spec("mcf", "crisp"), PLAN)
+    assert len(children) == len(intervals)
+    assert total > 0
+    assert critical  # FDO flow ran and produced PCs
+    for child in children:
+        assert child.critical_pcs == critical  # embedded, not re-derived
+        assert child.interval is not None
+
+
+def test_expand_rejects_specs_that_already_carry_intervals():
+    nested = spec("mcf", interval=(0, 100))
+    with pytest.raises(ValueError):
+        expand_spec(nested, PLAN)
+
+
+def test_failed_interval_fails_the_parent():
+    stats = PoolStats()
+    bad = spec("mcf", cycle_budget=1)  # every interval blows the budget
+    results = run_cells_sampled([bad], PLAN, jobs=1, stats=stats, retries=0)
+    assert not results[0].ok
+    assert results[0].error_type
+    assert results[0].estimate is None

@@ -1,0 +1,99 @@
+"""BBV fingerprints, deterministic k-means, and SimPoint selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import Asm, execute
+from repro.sampling import pick_representatives, simpoint_intervals
+from repro.sampling.bbv import bbv, block_leaders, kmeans, normalize
+
+
+def two_phase_program(phase_iters: int = 40):
+    """Phase A spins an ALU loop; phase B hammers memory loads."""
+    a = Asm()
+    a.movi("r1", 0)
+    a.movi("r2", phase_iters)
+    a.movi("r7", 0x2000_0000)
+    a.label("alu_loop")
+    a.addi("r1", "r1", 1)
+    a.blt("r1", "r2", "alu_loop")
+    a.movi("r1", 0)
+    a.label("mem_loop")
+    a.load("r3", "r7", 0)
+    a.addi("r1", "r1", 1)
+    a.blt("r1", "r2", "mem_loop")
+    a.halt()
+    return a.build()
+
+
+def test_block_leaders_cover_entry_targets_and_fallthroughs(tiny_loop_program):
+    leaders = block_leaders(tiny_loop_program)
+    assert 0 in leaders
+    assert leaders == tuple(sorted(leaders))
+    # The loop back-edge target and the post-branch fall-through are leaders.
+    assert len(leaders) >= 3
+
+
+def test_bbv_counts_only_leader_entries(tiny_loop_program):
+    trace = execute(tiny_loop_program)
+    leaders = block_leaders(tiny_loop_program)
+    vector = bbv(trace, 0, len(trace.insts), leaders)
+    assert vector
+    assert set(vector) <= set(leaders)
+    assert all(count > 0 for count in vector.values())
+
+
+def test_normalize_produces_unit_l1():
+    vec = normalize({1: 3, 2: 1})
+    assert sum(vec.values()) == pytest.approx(1.0)
+    assert vec[1] == pytest.approx(0.75)
+    assert normalize({}) == {}
+
+
+def test_kmeans_is_deterministic_and_separates_clear_clusters():
+    vectors = [{0: 1.0}, {0: 0.9, 1: 0.1}, {5: 1.0}, {5: 0.95, 6: 0.05}]
+    first = kmeans(vectors, 2)
+    second = kmeans(vectors, 2)
+    assert first == second
+    assignments, _ = first
+    assert assignments[0] == assignments[1]
+    assert assignments[2] == assignments[3]
+    assert assignments[0] != assignments[2]
+
+
+def test_kmeans_clamps_k_to_vector_count():
+    assignments, centroids = kmeans([{0: 1.0}, {1: 1.0}], 10)
+    assert len(assignments) == 2
+    assert len(centroids) <= 2
+
+
+def test_pick_representatives_weights_sum_to_one():
+    vectors = [{0: 1.0}] * 3 + [{9: 1.0}] * 1
+    picks = pick_representatives(vectors, 2)
+    assert sum(w for _, w in picks) == pytest.approx(1.0)
+    assert picks == sorted(picks)
+    # The 3-member cluster carries 3x the weight of the singleton.
+    weights = {idx: w for idx, w in picks}
+    assert max(weights.values()) == pytest.approx(0.75)
+
+
+def test_simpoint_separates_program_phases():
+    program = two_phase_program()
+    trace = execute(program, memory={0x2000_0000 >> 3: 7})
+    intervals = simpoint_intervals(trace, 2, 30)
+    assert 2 <= len(intervals) <= 2
+    weights = sum(iv.weight for iv in intervals)
+    assert weights == pytest.approx(1.0)
+    # One representative from each phase: their BBVs must differ.
+    leaders = block_leaders(program)
+    fingerprints = [
+        frozenset(bbv(trace, iv.start, iv.end, leaders)) for iv in intervals
+    ]
+    assert fingerprints[0] != fingerprints[1]
+
+
+def test_simpoint_intervals_are_deterministic():
+    program = two_phase_program()
+    trace = execute(program, memory={0x2000_0000 >> 3: 7})
+    assert simpoint_intervals(trace, 3, 25) == simpoint_intervals(trace, 3, 25)

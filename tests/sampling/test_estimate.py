@@ -1,0 +1,159 @@
+"""SimStats.merge exactness (ISSUE satellite) and the CPI estimator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling import estimate_from_intervals
+from repro.sampling.intervals import Interval, partition
+from repro.sampling.sampler import simulate_interval
+from repro.sim import simulate
+from repro.uarch.stats import SimStats
+from repro.workloads import get_workload
+
+# -- SimStats.merge: property test over pure counters -------------------------
+
+counters = st.integers(min_value=0, max_value=10**6)
+
+
+@st.composite
+def stats_parts(draw):
+    part = SimStats()
+    for name in SimStats._SUMMED_FIELDS:
+        setattr(part, name, draw(counters))
+    return part
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(stats_parts(), min_size=1, max_size=6))
+def test_merge_of_single_interval_stats_equals_concatenated_counters(parts):
+    merged = SimStats.merge(parts)
+    for name in SimStats._SUMMED_FIELDS:
+        assert getattr(merged, name) == sum(getattr(p, name) for p in parts)
+
+
+def test_merge_combines_per_pc_maps():
+    a, b = SimStats(), SimStats()
+    a.rob_head_stall_by_pc = {0x40: 10, 0x44: 5}
+    b.rob_head_stall_by_pc = {0x44: 7, 0x48: 1}
+    merged = SimStats.merge([a, b])
+    assert merged.rob_head_stall_by_pc == {0x40: 10, 0x44: 12, 0x48: 1}
+
+
+def test_merge_recomputes_dram_row_hit_rate():
+    a, b = SimStats(), SimStats()
+    a.dram_requests, a.dram_row_hit_rate = 100, 1.0
+    b.dram_requests, b.dram_row_hit_rate = 300, 0.5
+    merged = SimStats.merge([a, b])
+    assert merged.dram_requests == 400
+    assert merged.dram_row_hit_rate == pytest.approx((100 + 150) / 400)
+
+
+def test_merged_stats_round_trip_to_dict():
+    a, b = SimStats(), SimStats()
+    a.cycles, a.retired, a.loads = 100, 50, 10
+    b.cycles, b.retired, b.loads = 200, 80, 30
+    merged = SimStats.merge([a, b])
+    assert merged.to_dict()["cycles"] == 300
+    assert merged.to_dict()["loads"] == 40
+
+
+def test_scaled_multiplies_summed_fields():
+    s = SimStats()
+    s.cycles, s.retired, s.loads = 100, 50, 9
+    doubled = s.scaled(2.0)
+    assert (doubled.cycles, doubled.retired, doubled.loads) == (200, 100, 18)
+
+
+# -- merge matches a real concatenated run ------------------------------------
+
+
+def test_interval_merge_matches_full_run_event_counts():
+    """Simulate every interval of a partition (functionally warmed) and
+    merge: path-determined event counters must equal the full run's."""
+    workload = get_workload("mcf", scale=0.3)
+    full = simulate(workload, "ooo").stats
+    trace = workload.trace()
+    bounds = partition(len(trace.insts), 1000)
+    parts = [
+        simulate_interval(workload, "ooo", interval=b).stats for b in bounds
+    ]
+    merged = SimStats.merge(parts)
+    # Execution-path counters are exact under slicing; timing-dependent
+    # ones (store_forwards, mispredicts) may differ slightly at seams.
+    assert merged.retired == full.retired
+    assert merged.loads == full.loads
+    assert merged.cond_branches == full.cond_branches
+
+
+# -- estimator math -----------------------------------------------------------
+
+
+def make_stats(cycles: int, retired: int) -> SimStats:
+    s = SimStats()
+    s.cycles, s.retired = cycles, retired
+    return s
+
+
+def test_estimator_weighted_mean_and_ci():
+    intervals = [Interval(0, 0, 100), Interval(1, 100, 200)]
+    stats = [make_stats(100, 100), make_stats(300, 100)]  # CPIs 1.0, 3.0
+    est = estimate_from_intervals(intervals, stats, 1000)
+    assert est.cpi == pytest.approx(2.0)
+    assert est.ipc == pytest.approx(0.5)
+    assert est.est_cycles == 2000
+    # CI: sample sd of {1, 3} = sqrt(2), stderr = 1, t(df=1) = 12.706.
+    assert est.cpi_stderr == pytest.approx(1.0)
+    assert est.ci_high - est.ci_low == pytest.approx(2 * 12.706)
+    lo, hi = est.ipc_ci
+    assert lo == pytest.approx(1.0 / est.ci_high)
+    assert hi == pytest.approx(1.0 / est.ci_low)
+
+
+def test_estimator_respects_interval_weights():
+    intervals = [
+        Interval(0, 0, 100, weight=3.0),
+        Interval(1, 100, 200, weight=1.0),
+    ]
+    stats = [make_stats(100, 100), make_stats(300, 100)]
+    est = estimate_from_intervals(intervals, stats, 400)
+    assert est.cpi == pytest.approx((3 * 1.0 + 1 * 3.0) / 4)
+
+
+def test_estimator_single_interval_has_zero_width_ci():
+    est = estimate_from_intervals([Interval(0, 0, 50)], [make_stats(75, 50)], 50)
+    assert est.cpi == pytest.approx(1.5)
+    assert est.cpi_stderr == 0.0
+    assert est.ci_low == est.ci_high == pytest.approx(1.5)
+
+
+def test_estimator_extrapolates_counters_to_run_magnitude():
+    intervals = [Interval(0, 0, 100), Interval(1, 100, 200)]
+    a, b = make_stats(100, 100), make_stats(300, 100)
+    a.loads, b.loads = 10, 30
+    est = estimate_from_intervals(intervals, [a, b], 1000)
+    assert est.extrapolated.retired == 1000
+    assert est.extrapolated.cycles == est.est_cycles
+    # Each interval stands for half the run: 10*5 + 30*5 loads.
+    assert est.extrapolated.loads == 200
+    assert est.stats.loads == 40  # unscaled merge stays exact
+
+
+def test_estimator_rejects_mismatch_and_empty():
+    with pytest.raises(ValueError):
+        estimate_from_intervals([], [], 0)
+    with pytest.raises(ValueError):
+        estimate_from_intervals([Interval(0, 0, 10)], [], 10)
+    with pytest.raises(ValueError):
+        estimate_from_intervals([Interval(0, 0, 10)], [SimStats()], 10)
+
+
+def test_brief_is_json_safe():
+    import json
+
+    est = estimate_from_intervals([Interval(0, 0, 50)], [make_stats(75, 50)], 500)
+    encoded = json.loads(json.dumps(est.brief()))
+    assert encoded["policy"] == "smarts"
+    assert encoded["total_insts"] == 500

@@ -1,0 +1,127 @@
+"""Interval planning, the --sample grammar, and trace slicing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import execute
+from repro.sampling import (
+    TraceSlice,
+    parse_sample,
+    slice_trace,
+    systematic_intervals,
+)
+from repro.sampling.intervals import partition
+from repro.uarch import CoreConfig
+from repro.uarch.pipeline import Pipeline
+
+
+# -- parse_sample -------------------------------------------------------------
+
+
+def test_parse_off():
+    plan = parse_sample("off")
+    assert plan.off
+    assert plan.token() == "off"
+
+
+def test_parse_smarts():
+    plan = parse_sample("smarts:1000/10000")
+    assert not plan.off
+    assert (plan.policy, plan.detail, plan.period) == ("smarts", 1000, 10000)
+    assert plan.token() == "smarts:1000/10000"
+
+
+def test_parse_simpoint_default_interval():
+    plan = parse_sample("simpoint:8")
+    assert (plan.policy, plan.clusters) == ("simpoint", 8)
+    assert plan.interval > 0
+
+
+def test_parse_simpoint_explicit_interval():
+    plan = parse_sample("simpoint:4/500")
+    assert (plan.clusters, plan.interval) == (4, 500)
+    assert plan.token() == "simpoint:4/500"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "bogus",
+        "smarts",
+        "smarts:1000",
+        "smarts:0/1000",
+        "smarts:2000/1000",
+        "simpoint:0",
+        "simpoint:4/0",
+        "smarts:x/y",
+    ],
+)
+def test_parse_rejects_malformed_specs(bad):
+    with pytest.raises(ValueError):
+        parse_sample(bad)
+
+
+# -- systematic schedule ------------------------------------------------------
+
+
+def test_systematic_intervals_are_centered_and_disjoint():
+    ivs = systematic_intervals(100_000, 1000, 10_000)
+    assert len(ivs) == 10
+    for i, iv in enumerate(ivs):
+        assert iv.index == i
+        assert len(iv) == 1000
+        # Detail window sits centred in its period.
+        assert iv.start == i * 10_000 + (10_000 - 1000) // 2
+    starts = [iv.start for iv in ivs]
+    ends = [iv.end for iv in ivs]
+    assert all(e <= s for e, s in zip(ends, starts[1:]))
+
+
+def test_systematic_short_trace_degenerates_to_full_run():
+    ivs = systematic_intervals(500, 1000, 10_000)
+    assert len(ivs) == 1
+    assert (ivs[0].start, ivs[0].end) == (0, 500)
+
+
+def test_partition_covers_trace_contiguously():
+    assert partition(2500, 1000) == [(0, 1000), (1000, 2000), (2000, 2500)]
+
+
+# -- trace slicing ------------------------------------------------------------
+
+
+def test_slice_remaps_out_of_window_producers(tiny_trace):
+    n = len(tiny_trace.insts)
+    sl = slice_trace(tiny_trace, 2, n)
+    assert len(sl.insts) == n - 2
+    for pos, d in enumerate(sl.insts):
+        assert d.seq == pos
+        for src in d.reg_srcs:
+            # Producers that retired before the window read as "ready".
+            assert src == -1 or 0 <= src < len(sl.insts)
+
+
+def test_slice_boundary_pc_feeds_pc_after(tiny_trace):
+    n = len(tiny_trace.insts)
+    sl = slice_trace(tiny_trace, 0, n - 1)
+    assert isinstance(sl, TraceSlice)
+    assert sl.boundary_pc == tiny_trace.insts[n - 1].pc
+    assert sl.pc_after(len(sl.insts) - 1) == sl.boundary_pc
+
+
+def test_full_slice_has_no_boundary(tiny_trace):
+    n = len(tiny_trace.insts)
+    sl = slice_trace(tiny_trace, 0, n)
+    assert sl.boundary_pc == -1
+    with pytest.raises(IndexError):
+        sl.pc_after(n - 1)
+
+
+def test_pipeline_runs_a_mid_trace_slice(tiny_loop_program):
+    trace = execute(tiny_loop_program)
+    n = len(trace.insts)
+    sl = slice_trace(trace, 5, n - 3)
+    stats = Pipeline(sl, CoreConfig.skylake()).run()
+    assert stats.retired == n - 8
+    assert stats.cycles > 0

@@ -32,7 +32,7 @@ def test_catalog_covers_every_subsystem():
 
     names = set(metrics_catalog().names())
     roots = {name.split(".", 1)[0] for name in names}
-    assert roots == {"core", "frontend", "uarch", "memory", "parallel"}
+    assert roots == {"core", "frontend", "uarch", "memory", "parallel", "sampling"}
     # Spot-check one metric per ISSUE-listed structure family.
     for expected in (
         "core.cycles",
@@ -43,5 +43,6 @@ def test_catalog_covers_every_subsystem():
         "memory.llc.misses",
         "memory.mshr.allocations",
         "memory.dram.row_hits",
+        "sampling.intervals",
     ):
         assert expected in names, f"{expected} missing from catalog"

@@ -1,0 +1,37 @@
+"""Every docs/*.md page must be linked from the README (tier-1 lint)."""
+
+import importlib.util
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SCRIPT = REPO_ROOT / "scripts" / "check_docs_index.py"
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location("check_docs_index", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_readme_links_every_docs_page():
+    checker = load_checker()
+    problems = checker.check()
+    assert problems == [], "\n".join(problems)
+
+
+def test_checker_flags_orphaned_pages():
+    checker = load_checker()
+    problems = checker.check(
+        readme_text="see docs/LINKED.md",
+        doc_names=["LINKED.md", "ORPHAN.md"],
+    )
+    assert len(problems) == 1
+    assert "docs/ORPHAN.md" in problems[0]
+
+
+def test_checker_passes_when_all_pages_linked():
+    checker = load_checker()
+    assert checker.check(
+        readme_text="docs/A.md and docs/B.md", doc_names=["A.md", "B.md"]
+    ) == []
