@@ -17,6 +17,14 @@ A second section benchmarks sampled simulation (docs/SAMPLING.md): one
 full detailed run vs a ``--sample`` run of the same workload, recording
 wall-clock for both, the detailed-cycle reduction, and the absolute IPC
 error — the acceptance evidence for the sampling layer.
+
+A third section races the two cycle-model engines (docs/ENGINE.md): each
+workload runs in detail under ``--engine=obj`` and ``--engine=array``
+(same trace object, best-of-``--engine-repeats`` wall-clock after one
+warmup run each), asserting identical SimStats digests and recording
+wall-clock, cycles/s, and the array/obj speedup per cell — the acceptance
+evidence for the array engine. The same rows regenerate the comparison
+table in docs/ENGINE.md (``scripts/check_engine_docs.py --write``).
 """
 
 from __future__ import annotations
@@ -87,6 +95,77 @@ def bench_sampled_vs_full(workload_name: str, scale: float, sample: str) -> dict
     }
 
 
+def bench_engines(workloads, modes, scale: float, repeats: int) -> dict:
+    """Race the obj and array engines over detailed cells (docs/ENGINE.md).
+
+    One warmup run per engine precedes timing (it also decodes the trace
+    once, which the array engine memoizes on it, and proves the digests
+    match); the recorded wall-clock is the best of ``repeats`` timed runs.
+    """
+    from repro.core.fdo import run_crisp_flow
+    from repro.sim import simulate
+    from repro.workloads import get_workload
+
+    rows = []
+    for name in workloads:
+        workload = get_workload(name, scale=scale)
+        workload.trace()
+        for mode in modes:
+            kwargs = {}
+            if mode == "crisp":
+                kwargs["critical_pcs"] = run_crisp_flow(
+                    name, scale=scale
+                ).critical_pcs
+            elif mode != "ooo":
+                continue  # engine rows cover the two headline modes
+            wall = {}
+            digest = {}
+            cycles = 0
+            for engine in ("obj", "array"):
+                stats = simulate(workload, mode, engine=engine, **kwargs).stats
+                digest[engine] = stats.digest()
+                cycles = stats.cycles
+                best = None
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    simulate(workload, mode, engine=engine, **kwargs)
+                    elapsed = time.perf_counter() - start
+                    if best is None or elapsed < best:
+                        best = elapsed
+                wall[engine] = best
+            if digest["obj"] != digest["array"]:
+                raise SystemExit(
+                    f"engine digests diverge for {name}/{mode}: "
+                    f"{digest['obj']} != {digest['array']}"
+                )
+            rows.append({
+                "workload": name,
+                "mode": mode,
+                "cycles": cycles,
+                "obj_wall_s": round(wall["obj"], 3),
+                "array_wall_s": round(wall["array"], 3),
+                "obj_cycles_per_s": int(cycles / wall["obj"]),
+                "array_cycles_per_s": int(cycles / wall["array"]),
+                "speedup": round(wall["obj"] / wall["array"], 2),
+            })
+    speedups = [row["speedup"] for row in rows]
+    geomean = None
+    if speedups:
+        product = 1.0
+        for s in speedups:
+            product *= s
+        geomean = round(product ** (1.0 / len(speedups)), 2)
+    return {
+        "workloads": list(workloads),
+        "scale": scale,
+        "repeats": repeats,
+        "digests_match": True,
+        "rows": rows,
+        "max_speedup": max(speedups) if speedups else None,
+        "geomean_speedup": geomean,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workloads", default="mcf,lbm,deepsjeng,xz")
@@ -111,6 +190,26 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--sample-scale", type=float, default=4.0,
         help="scale for the sampled-vs-full section (acceptance: >= 4)",
+    )
+    parser.add_argument(
+        "--engine-workloads", default="mcf,lbm,deepsjeng,xz",
+        help="workloads for the engine-race section (docs/ENGINE.md)",
+    )
+    parser.add_argument(
+        "--engine-modes", default="ooo,crisp",
+        help="modes for the engine-race section",
+    )
+    parser.add_argument(
+        "--engine-scale", type=float, default=1.0,
+        help="scale for the engine-race section (acceptance: >= 5x somewhere)",
+    )
+    parser.add_argument(
+        "--engine-repeats", type=int, default=3,
+        help="timed runs per engine per cell; best (min) wall-clock is kept",
+    )
+    parser.add_argument(
+        "--no-doc-rewrite", action="store_true",
+        help="skip regenerating the docs/ENGINE.md comparison table",
     )
     args = parser.parse_args(argv)
 
@@ -150,9 +249,24 @@ def main(argv=None) -> int:
         "sampled_vs_full": bench_sampled_vs_full(
             args.sample_workload, args.sample_scale, args.sample
         ),
+        "engines": bench_engines(
+            args.engine_workloads.split(","),
+            args.engine_modes.split(","),
+            args.engine_scale,
+            args.engine_repeats,
+        ),
     }
     pathlib.Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
     print(json.dumps(record, indent=2))
+    if not args.no_doc_rewrite:
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "check_engine_docs", REPO_ROOT / "scripts" / "check_engine_docs.py"
+        )
+        engine_docs = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(engine_docs)
+        engine_docs.rewrite_doc(record["engines"])
     if record["cache_hits"] != cells:
         raise SystemExit(
             f"expected every warm cell to hit the cache: {record['cache_hits']}/{cells}"

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Lint: docs/ENGINE.md's comparison table must match BENCH_sweep.json.
+
+The source of truth is the ``engines`` section of ``BENCH_sweep.json``, the
+record ``scripts/bench_sweep.py`` writes after racing the two cycle-model
+engines over the detailed workload cells. This script fails (exit 1) when
+the generated table in docs/ENGINE.md drifts from that record; run it with
+``--write`` to regenerate the table section. The lint never simulates —
+re-measuring belongs to the benchmark harness, not the doc check.
+
+Runs standalone (``python scripts/check_engine_docs.py``) and inside the
+tier-1 test suite (``tests/test_engine_docs.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOC_PATH = REPO_ROOT / "docs" / "ENGINE.md"
+BENCH_PATH = REPO_ROOT / "BENCH_sweep.json"
+
+GENERATED_BEGIN = "<!-- BEGIN GENERATED ENGINE TABLE (scripts/check_engine_docs.py --write) -->"
+GENERATED_END = "<!-- END GENERATED ENGINE TABLE -->"
+
+
+def load_engines(bench_path: pathlib.Path = BENCH_PATH) -> dict:
+    record = json.loads(bench_path.read_text())
+    engines = record.get("engines")
+    if not engines:
+        raise SystemExit(
+            f"{bench_path} has no 'engines' section; run scripts/bench_sweep.py"
+        )
+    return engines
+
+
+def render_table(engines: dict) -> str:
+    """The generated comparison table, one row per (workload, mode) cell."""
+    lines = [GENERATED_BEGIN, ""]
+    lines.append(
+        f"Measured by `scripts/bench_sweep.py` at scale {engines['scale']:g}, "
+        f"best of {engines['repeats']} timed runs per engine after one warmup "
+        "run each; digests matched on every cell."
+    )
+    lines.append("")
+    lines.append(
+        "| workload | mode | cycles | obj wall (s) | array wall (s) "
+        "| obj cycles/s | array cycles/s | speedup |"
+    )
+    lines.append("|---|---|---|---|---|---|---|---|")
+    for row in engines["rows"]:
+        lines.append(
+            f"| {row['workload']} | {row['mode']} | {row['cycles']:,} "
+            f"| {row['obj_wall_s']:.3f} | {row['array_wall_s']:.3f} "
+            f"| {row['obj_cycles_per_s']:,} | {row['array_cycles_per_s']:,} "
+            f"| {row['speedup']:.2f}x |"
+        )
+    lines.append("")
+    lines.append(
+        f"Max speedup **{engines['max_speedup']:.2f}x**, geomean "
+        f"**{engines['geomean_speedup']:.2f}x** across "
+        f"{len(engines['rows'])} cells."
+    )
+    lines.append("")
+    lines.append(GENERATED_END)
+    return "\n".join(lines)
+
+
+def rewrite_doc(engines: dict | None = None) -> None:
+    """Regenerate the table section between the BEGIN/END markers."""
+    if engines is None:
+        engines = load_engines()
+    text = DOC_PATH.read_text()
+    begin = text.index(GENERATED_BEGIN)
+    end = text.index(GENERATED_END) + len(GENERATED_END)
+    DOC_PATH.write_text(text[:begin] + render_table(engines) + text[end:])
+
+
+def check() -> list[str]:
+    """Return a list of human-readable problems (empty = in sync)."""
+    if not DOC_PATH.exists():
+        return [f"{DOC_PATH} does not exist"]
+    if not BENCH_PATH.exists():
+        return [f"{BENCH_PATH} does not exist; run scripts/bench_sweep.py"]
+    text = DOC_PATH.read_text()
+    if GENERATED_BEGIN not in text or GENERATED_END not in text:
+        return [f"docs/ENGINE.md lacks the generated-table markers"]
+    begin = text.index(GENERATED_BEGIN)
+    end = text.index(GENERATED_END) + len(GENERATED_END)
+    current = text[begin:end]
+    expected = render_table(load_engines())
+    if current != expected:
+        return [
+            "docs/ENGINE.md comparison table is stale vs BENCH_sweep.json; "
+            "run scripts/check_engine_docs.py --write"
+        ]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write", action="store_true",
+        help="regenerate the comparison table in docs/ENGINE.md, then check",
+    )
+    args = parser.parse_args(argv)
+    if args.write:
+        rewrite_doc()
+    problems = check()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        rows = len(load_engines()["rows"])
+        print(f"docs/ENGINE.md in sync: {rows} engine-comparison rows")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,7 @@ def cmd_simulate(args) -> int:
             tracer=tracer,
             invariants=args.invariants,
             watchdog=watchdog,
+            engine=args.engine,
         )
     except SimulationError as exc:
         print(f"simulation failed: {exc}", file=sys.stderr)
@@ -102,6 +103,7 @@ def _simulate_sampled(args, workload) -> int:
             plan=plan,
             invariants=args.invariants,
             stats=stats,
+            engine=args.engine,
         )
     except SimulationError as exc:
         print(f"simulation failed: {exc}", file=sys.stderr)
@@ -161,6 +163,11 @@ def main(argv: list[str] | None = None) -> int:
         "--sample", default="off", metavar="SPEC",
         help="sampled simulation: off | smarts:<detail>/<period> | "
         "simpoint:<k>[/<interval>] (docs/SAMPLING.md; default: off)",
+    )
+    p.add_argument(
+        "--engine", choices=("obj", "array"), default=None,
+        help="cycle-model implementation (docs/ENGINE.md); default: "
+        "REPRO_ENGINE env var, then 'obj' -- results are identical",
     )
     p.add_argument(
         "--trace",

@@ -3,7 +3,10 @@
 Execution flags shared by every experiment (docs/PARALLEL.md): ``--jobs``
 fans simulation cells out over a process pool, ``--cache-dir`` points at
 the content-addressed result cache (default ``.repro_cache``; re-running
-an experiment re-simulates only changed cells), ``--no-cache`` disables it.
+an experiment re-simulates only changed cells), ``--no-cache`` disables it,
+and ``--engine=obj|array`` picks the cycle-model implementation
+(docs/ENGINE.md; digest-identical results, so it composes freely with the
+cache and ``--sample``).
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ def run_sweep(args) -> int:
         jobs=args.jobs,
         cache=build_cache(args),
         sample=args.sample,
+        engine=args.engine,
         on_cell=lambda key, cell: print(f"  {key}: {cell['status']}", flush=True),
     )
     state = runner.run(resume=args.resume, retry_failed=args.retry_failed)
@@ -88,6 +92,11 @@ def main(argv: list[str] | None = None) -> int:
         "--sample", default="off", metavar="SPEC",
         help="sampled simulation: off | smarts:<detail>/<period> | "
         "simpoint:<k>[/<interval>] (docs/SAMPLING.md; default: off)",
+    )
+    execution.add_argument(
+        "--engine", choices=("obj", "array"), default=None,
+        help="cycle-model implementation for every cell (docs/ENGINE.md); "
+        "default: REPRO_ENGINE env var, then 'obj' -- results are identical",
     )
     sweep = parser.add_argument_group("sweep options")
     sweep.add_argument(
@@ -140,7 +149,7 @@ def main(argv: list[str] | None = None) -> int:
 
     names = [args.experiment] if args.experiment != "all" else sorted(EXPERIMENTS)
     with execution_context(jobs=args.jobs, cache=build_cache(args),
-                           sample=args.sample):
+                           sample=args.sample, engine=args.engine):
         for name in names:
             kwargs = {}
             if name not in ("table1",):

@@ -43,6 +43,9 @@ class ExecutionOptions:
     #: ``--sample`` spec ("off" | "smarts:<d>/<p>" | "simpoint:<k>[/<i>]");
     #: anything but "off" routes run_cells through the sampled estimator.
     sample: str = "off"
+    #: ``--engine`` spec ("obj" | "array" | None = defaulting chain, see
+    #: docs/ENGINE.md). Applied to every spec that does not pin its own.
+    engine: str | None = None
 
 
 _EXECUTION = ExecutionOptions()
@@ -50,7 +53,8 @@ _EXECUTION = ExecutionOptions()
 
 @contextmanager
 def execution_context(*, jobs: int | None = None, cache=None,
-                      retries: int | None = None, sample: str | None = None):
+                      retries: int | None = None, sample: str | None = None,
+                      engine: str | None = None):
     """Scope the pool size / result cache for every ``run_cells`` inside."""
     global _EXECUTION
     previous = _EXECUTION
@@ -63,6 +67,8 @@ def execution_context(*, jobs: int | None = None, cache=None,
         updates["retries"] = retries
     if sample is not None:
         updates["sample"] = sample
+    if engine is not None:
+        updates["engine"] = engine
     _EXECUTION = replace(previous, **updates)
     try:
         yield _EXECUTION
@@ -79,18 +85,27 @@ def run_cells(specs) -> list[CellResult]:
     cell's stats are the sampled estimator's extrapolated whole-run view
     (same shape, so figure code is oblivious to the sampling).
     """
+    specs = list(specs)
+    if _EXECUTION.engine is not None:
+        # Engine is an execution-only knob (not part of the cell key), so
+        # stamping it on the specs changes how cells run, never what they
+        # produce (docs/ENGINE.md).
+        specs = [
+            replace(s, engine=_EXECUTION.engine) if s.engine is None else s
+            for s in specs
+        ]
     if _EXECUTION.sample != "off":
         from ..sampling import parse_sample, run_cells_sampled
 
         return run_cells_sampled(
-            list(specs),
+            specs,
             parse_sample(_EXECUTION.sample),
             jobs=_EXECUTION.jobs,
             cache=_EXECUTION.cache,
             retries=_EXECUTION.retries,
         )
     return _parallel_run_cells(
-        list(specs),
+        specs,
         jobs=_EXECUTION.jobs,
         cache=_EXECUTION.cache,
         retries=_EXECUTION.retries,

@@ -60,6 +60,7 @@ def default_run_cell(
     invariants: str | None = None,
     crash_dir: str | None = None,
     cycle_budget: int | None = None,
+    engine: str | None = None,
 ) -> dict:
     """Simulate one (workload, mode) cell and return its result row."""
     from ..parallel.cellkey import CellSpec
@@ -73,6 +74,7 @@ def default_run_cell(
             invariants=invariants,
             crash_dir=crash_dir,
             cycle_budget=cycle_budget,
+            engine=engine,
         )
     )
     return {
@@ -111,6 +113,9 @@ class SweepRunner:
     sample: str = "off"
     #: Content-addressed result cache (repro.parallel.ResultCache) or None.
     cache: object = None
+    #: Cycle-model implementation ("obj" | "array" | None = default chain);
+    #: execution-only — cached results are engine-agnostic (docs/ENGINE.md).
+    engine: str | None = None
     #: Injectable for tests; signature of :func:`default_run_cell`.
     run_cell: object = None
     #: Progress callback ``(key, cell_dict) -> None``; default prints.
@@ -218,6 +223,7 @@ class SweepRunner:
                 invariants=self.invariants,
                 crash_dir=self.crash_dir,
                 cycle_budget=self.cycle_budget,
+                engine=self.engine,
             )
             for workload, mode in pending
         ]

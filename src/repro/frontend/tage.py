@@ -91,6 +91,21 @@ class TagePredictor:
         self._rng_state = seed or 1
         self._last = None  # internal: details of the last predict() call
         self.stats = TageStats()
+        # Flattened per-table update plan for _push_history: the folded
+        # registers' masks/shifts are loop invariants, so one precomputed
+        # (length, [(fold, mask, top_shift, out_shift), ...]) row per table
+        # replaces 3 method calls per table per branch.
+        self._push_plan = [
+            (
+                self.history_lengths[t],
+                [
+                    (f, (1 << f.bits) - 1, f.bits - 1, f._out_shift)
+                    for f in (self._fold_idx[t], self._fold_tag0[t], self._fold_tag1[t])
+                ],
+            )
+            for t in range(num_tables)
+        ]
+        self._ghist_mask = (1 << (self.history_lengths[-1] + 2)) - 1
 
     # -- internals ---------------------------------------------------------------
 
@@ -121,9 +136,18 @@ class TagePredictor:
         provider = -1
         alt = -1
         provider_idx = alt_idx = 0
+        # Inlined _index/_tag_of: this scan runs for every conditional branch.
+        pcx = pc ^ (pc >> self.table_bits)
+        tsize = self.table_size
+        tag_mask = (1 << self.tag_bits) - 1
+        fold_idx = self._fold_idx
+        fold_tag0 = self._fold_tag0
+        fold_tag1 = self._fold_tag1
+        tags = self._tag
         for table in range(self.num_tables - 1, -1, -1):
-            idx = self._index(pc, table)
-            if self._tag[table][idx] == self._tag_of(pc, table):
+            idx = (pcx ^ fold_idx[table].value) % tsize
+            tag = (pc ^ fold_tag0[table].value ^ (fold_tag1[table].value << 1)) & tag_mask
+            if tags[table][idx] == tag:
                 if provider < 0:
                     provider, provider_idx = table, idx
                 else:
@@ -192,13 +216,12 @@ class TagePredictor:
 
     def _push_history(self, taken: bool) -> None:
         bit = 1 if taken else 0
-        self._ghist = (self._ghist << 1) | bit
-        for table in range(self.num_tables):
-            length = self.history_lengths[table]
-            outgoing = (self._ghist >> length) & 1
-            self._fold_idx[table].update(bit, outgoing)
-            self._fold_tag0[table].update(bit, outgoing)
-            self._fold_tag1[table].update(bit, outgoing)
-        # Bound the history integer so it cannot grow without limit.
-        max_len = self.history_lengths[-1] + 1
-        self._ghist &= (1 << (max_len + 1)) - 1
+        # Masking before (rather than after) extracting the outgoing bits is
+        # equivalent: the mask keeps history_lengths[-1] + 2 bits and every
+        # extracted position is below that.
+        ghist = self._ghist = ((self._ghist << 1) | bit) & self._ghist_mask
+        for length, folds in self._push_plan:
+            outgoing = (ghist >> length) & 1
+            for f, mask, top, out_shift in folds:
+                v = f.value
+                f.value = ((((v << 1) | bit) & mask) ^ (v >> top) ^ (outgoing << out_shift)) & mask

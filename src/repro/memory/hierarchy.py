@@ -17,6 +17,10 @@ from .dram import Dram, DramConfig
 from .mshr import MshrFile
 from .prefetchers import Prefetcher, make_prefetcher
 
+#: Sentinel completion time for "no fill in flight" (any real cycle is
+#: smaller, so ``now < _NEVER`` always skips the sweep).
+_NEVER = 1 << 62
+
 
 @dataclass
 class HierarchyConfig:
@@ -71,6 +75,11 @@ class MemoryHierarchy:
         # Timestamp of the latest lazy-fill sweep: an MSHR entry whose
         # completion lies behind this has leaked (the mshr_leak invariant).
         self.last_advance = 0
+        # Earliest completion among all in-flight fills (MSHR + prefetch +
+        # instruction). _advance is called on every hierarchy access; until
+        # `now` reaches this, a sweep provably expires nothing and is
+        # skipped. Exact, not a heuristic: every insertion lowers it.
+        self._next_fill = _NEVER
 
     # -- helpers ---------------------------------------------------------------
 
@@ -81,6 +90,8 @@ class MemoryHierarchy:
         """Apply all fills that completed at or before ``now``."""
         if now > self.last_advance:
             self.last_advance = now
+        if now < self._next_fill:
+            return
         for line in self.mshr.expire(now):
             self.l1d.fill(line)
             self.llc.fill(line)
@@ -102,6 +113,13 @@ class MemoryHierarchy:
             del self._pending_inst[line]
             self.l1i.fill(line)
             self.llc.fill(line)
+        nxt = _NEVER
+        for pending in (self.mshr._pending, self._pending_pf, self._pending_inst):
+            if pending:
+                soonest = min(pending.values())
+                if soonest < nxt:
+                    nxt = soonest
+        self._next_fill = nxt
 
     def outstanding_demand_misses(self) -> int:
         return self.mshr.occupancy()
@@ -154,6 +172,8 @@ class MemoryHierarchy:
             self._advance(start)
         completion = self.dram.request(addr, start + cfg.llc_latency)
         self.mshr.allocate(addr, completion)
+        if completion < self._next_fill:
+            self._next_fill = completion
         self._train(pc, addr, hit=False, now=now)
         return AccessResult(completion, "dram", self.mshr.occupancy())
 
@@ -196,6 +216,8 @@ class MemoryHierarchy:
             return
         completion = self.dram.request(addr, now + self.config.llc_latency)
         self._pending_pf[line] = completion
+        if completion < self._next_fill:
+            self._next_fill = completion
 
     # -- instruction side -----------------------------------------------------------
 
@@ -216,6 +238,8 @@ class MemoryHierarchy:
         else:
             completion = self.dram.request(addr, now + self.config.llc_latency)
         self._pending_inst[line] = completion
+        if completion < self._next_fill:
+            self._next_fill = completion
         return completion
 
     def inst_prefetch(self, addr: int, now: int) -> None:
@@ -231,3 +255,5 @@ class MemoryHierarchy:
         else:
             completion = self.dram.request(addr, now + self.config.llc_latency)
         self._pending_inst[line] = completion
+        if completion < self._next_fill:
+            self._next_fill = completion

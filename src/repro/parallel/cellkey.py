@@ -18,7 +18,8 @@ The key hashes every input that can change the outcome — and nothing else:
   full FDO-flow recipe (:class:`~repro.core.fdo.CrispConfig` fields) when
   the worker derives them itself.
 
-Execution-only knobs (cycle budget, invariant cadence, crash directory)
+Execution-only knobs (cycle budget, invariant cadence, crash directory, and
+the cycle-model engine — see docs/ENGINE.md's equivalence contract)
 deliberately stay out of the key: they do not change a successful cell's
 statistics.
 """
@@ -71,6 +72,11 @@ class CellSpec:
     invariants: str | None = None
     cycle_budget: int | None = None
     crash_dir: str | None = None
+    #: Cycle-model implementation ("obj" | "array" | None = default chain).
+    #: Deliberately NOT part of the key: both engines produce identical
+    #: SimStats digests (docs/ENGINE.md), so an array run may answer a cell
+    #: cached by an object run and vice versa.
+    engine: str | None = None
 
     def core_config(self) -> CoreConfig:
         return self.config if self.config is not None else CoreConfig.skylake()

@@ -195,6 +195,7 @@ def run_cell_spec(spec: CellSpec) -> dict:
             warmup=spec.warmup,
             invariants=spec.invariants,
             watchdog=watchdog,
+            engine=spec.engine,
         )
     else:
         result = simulate(
@@ -204,6 +205,7 @@ def run_cell_spec(spec: CellSpec) -> dict:
             critical_pcs=critical,
             invariants=spec.invariants,
             watchdog=watchdog,
+            engine=spec.engine,
         )
     return {
         "workload": spec.workload,

@@ -12,9 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..sim.simulator import SimResult, resolve_mode
+from ..sim.simulator import SimResult, pipeline_class, resolve_mode
 from ..uarch.config import CoreConfig
-from ..uarch.pipeline import Pipeline
 from .estimate import SampledEstimate, estimate_from_intervals
 from .intervals import Interval, SamplingPlan, slice_trace, systematic_intervals
 from .simpoint import simpoint_intervals
@@ -73,6 +72,7 @@ def simulate_interval(
     invariants: str | None = None,
     watchdog=None,
     stats: SamplingStats | None = None,
+    engine: str | None = None,
 ) -> SimResult:
     """Detailed-simulate trace positions ``[start, end)`` of ``workload``.
 
@@ -82,6 +82,8 @@ def simulate_interval(
     ``"none"`` starts the interval cold. The returned
     :class:`~repro.sim.simulator.SimResult` carries the *interval's*
     stats (cycles and retired count cover only the detailed region).
+    ``engine`` picks the detailed cycle-model implementation
+    (docs/ENGINE.md); warmup is functional either way.
     """
     if warmup not in WARMUP_POLICIES:
         raise ValueError(f"unknown warmup {warmup!r}; known: {WARMUP_POLICIES}")
@@ -104,7 +106,7 @@ def simulate_interval(
         "workload": workload.name, "mode": mode,
         "interval": [start, end], "warmup": warmup,
     }
-    pipeline = Pipeline(
+    pipeline = pipeline_class(engine)(
         slice_trace(trace, start, end),
         config,
         critical_pcs=critical,
@@ -142,6 +144,7 @@ def simulate_sampled(
     critical_pcs: frozenset[int] = frozenset(),
     invariants: str | None = None,
     stats: SamplingStats | None = None,
+    engine: str | None = None,
 ) -> SampledEstimate:
     """Run ``workload`` sampled per ``plan`` and return the estimate."""
     if plan.off:
@@ -157,6 +160,7 @@ def simulate_sampled(
             critical_pcs=critical_pcs,
             invariants=invariants,
             stats=stats,
+            engine=engine,
         ).stats
         for iv in intervals
     ]

@@ -1,12 +1,23 @@
 """Top-level simulation API."""
 
 from .comparison import WorkloadComparison, compare_workload, geomean
-from .simulator import MODES, SimResult, resolve_mode, simulate
+from .simulator import (
+    ENGINES,
+    MODES,
+    SimResult,
+    pipeline_class,
+    resolve_engine,
+    resolve_mode,
+    simulate,
+)
 from .trace_export import TimingRow, collect_timing, export_csv, to_csv
 
 __all__ = [
+    "ENGINES",
     "MODES",
     "SimResult",
+    "pipeline_class",
+    "resolve_engine",
     "WorkloadComparison",
     "compare_workload",
     "geomean",

@@ -11,6 +11,7 @@ evaluated modes:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from ..core.ibda import make_ibda
@@ -24,6 +25,35 @@ from ..uarch.stats import SimStats
 from ..workloads.base import Workload
 
 MODES = ("ooo", "crisp", "ibda-1k", "ibda-8k", "ibda-64k", "ibda-inf")
+
+#: Implementations of the cycle model (docs/ENGINE.md): ``"obj"`` is the
+#: per-object reference pipeline, ``"array"`` the struct-of-arrays hot
+#: path. Both produce identical SimStats digests for every cell.
+ENGINES = ("obj", "array")
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """Validate ``engine`` and apply the defaulting chain.
+
+    ``None`` falls back to the ``REPRO_ENGINE`` environment variable and
+    then to ``"obj"``. The env hook exists so an entire test suite or CI
+    leg can be flipped to the array engine without threading a flag
+    through every call site (``REPRO_ENGINE=array python -m pytest``).
+    """
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE") or "obj"
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
+    return engine
+
+
+def pipeline_class(engine: str | None = None) -> type[Pipeline]:
+    """The :class:`Pipeline` implementation for ``engine`` (see ENGINES)."""
+    if resolve_engine(engine) == "array":
+        from ..uarch.array_engine import ArrayPipeline
+
+        return ArrayPipeline
+    return Pipeline
 
 
 def resolve_mode(
@@ -87,6 +117,7 @@ def simulate(
     invariants: str | None = None,
     watchdog: Watchdog | None = None,
     crash_dir: str | None = None,
+    engine: str | None = None,
 ) -> SimResult:
     """Run ``workload`` in ``mode`` and return the result.
 
@@ -105,6 +136,10 @@ def simulate(
     cadence (``"off"``/``"periodic"``/``"full"``; default off), ``watchdog``
     overrides livelock/cycle limits, and ``crash_dir`` makes failures write
     a crash bundle there (shorthand for a watchdog with that directory).
+
+    ``engine`` picks the cycle-model implementation (``"obj"``/``"array"``,
+    default from ``REPRO_ENGINE`` then ``"obj"``); results are identical
+    either way — see docs/ENGINE.md for the equivalence contract.
     """
     config, used, ibda = resolve_mode(mode, config, critical_pcs)
     if watchdog is None and crash_dir is not None:
@@ -112,7 +147,7 @@ def simulate(
     run_context = {"workload": workload.name, "mode": mode}
     resilience = dict(invariants=invariants, watchdog=watchdog, run_context=run_context)
     trace = workload.trace()
-    pipeline = Pipeline(
+    pipeline = pipeline_class(engine)(
         trace,
         config,
         critical_pcs=used,

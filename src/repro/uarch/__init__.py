@@ -1,6 +1,7 @@
 """Microarchitecture substrate: the cycle-level out-of-order core model."""
 
 from .age_matrix import AgeMatrix, ShiftQueue
+from .array_engine import ArrayPipeline
 from .config import CoreConfig
 from .functional_units import PortPools, PortStats
 from .lsq import LoadStoreQueues, LsqStats
@@ -12,6 +13,7 @@ from .stats import PcBranchStats, PcLoadStats, SimStats
 
 __all__ = [
     "AgeMatrix",
+    "ArrayPipeline",
     "CoreConfig",
     "LoadStoreQueues",
     "LsqStats",

@@ -10,6 +10,8 @@ UPC timeline used to regenerate Figure 1.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import asdict, dataclass, field, fields
 
 
@@ -221,6 +223,20 @@ class SimStats:
             else:
                 data[f.name] = value
         return data
+
+    def digest(self) -> str:
+        """Canonical content hash of this result (hex sha256).
+
+        The digest is computed over the sorted-key JSON rendering of
+        :meth:`to_dict`, so dict *insertion order* (which may legitimately
+        differ between the object and array engines' bookkeeping) never
+        affects it while every counter value does. Two runs of the same
+        cell are equivalent iff their digests match — this is the
+        cross-engine equivalence contract of docs/ENGINE.md, asserted by
+        ``tests/sim/test_engine_equivalence.py``.
+        """
+        canon = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimStats":

@@ -26,6 +26,11 @@ def test_bench_records_full_warm_hit_rate(tmp_path):
         "--jobs", "2",
         "--output", str(output),
         "--work-dir", str(tmp_path / "work"),
+        "--engine-workloads", "mcf",
+        "--engine-modes", "ooo",
+        "--engine-scale", "0.05",
+        "--engine-repeats", "1",
+        "--no-doc-rewrite",
     ])
     assert rc == 0
 
@@ -35,6 +40,7 @@ def test_bench_records_full_warm_hit_rate(tmp_path):
     assert record["warm_hit_rate"] == 1.0
     assert record["warm_wall_s"] < record["cold_wall_s"]
     assert record["speedup_warm_over_cold"] > 1
+    assert record["engines"]["digests_match"] is True
 
 
 def test_bench_records_sampled_vs_full_section(tmp_path):
@@ -47,3 +53,19 @@ def test_bench_records_sampled_vs_full_section(tmp_path):
     ):
         assert key in row
     assert row["detailed_cycles"] < row["full_cycles"]
+
+
+def test_bench_records_engines_section():
+    bench = load_bench()
+    section = bench.bench_engines(["mcf"], ["ooo", "crisp"], 0.1, 1)
+    assert section["digests_match"] is True
+    assert len(section["rows"]) == 2
+    for row in section["rows"]:
+        for key in (
+            "workload", "mode", "cycles", "obj_wall_s", "array_wall_s",
+            "obj_cycles_per_s", "array_cycles_per_s", "speedup",
+        ):
+            assert key in row
+        assert row["cycles"] > 0
+    assert section["max_speedup"] == max(r["speedup"] for r in section["rows"])
+    assert section["geomean_speedup"] is not None

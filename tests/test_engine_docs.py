@@ -1,0 +1,61 @@
+"""docs/ENGINE.md's comparison table must match BENCH_sweep.json (tier-1 lint)."""
+
+import importlib.util
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SCRIPT = REPO_ROOT / "scripts" / "check_engine_docs.py"
+
+SAMPLE = {
+    "workloads": ["mcf"],
+    "scale": 1.0,
+    "repeats": 3,
+    "digests_match": True,
+    "rows": [{
+        "workload": "mcf", "mode": "ooo", "cycles": 123456,
+        "obj_wall_s": 2.0, "array_wall_s": 0.5,
+        "obj_cycles_per_s": 61728, "array_cycles_per_s": 246912,
+        "speedup": 4.0,
+    }],
+    "max_speedup": 4.0,
+    "geomean_speedup": 4.0,
+}
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location("check_engine_docs", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_engine_doc_table_in_sync():
+    checker = load_checker()
+    problems = checker.check()
+    assert problems == [], "\n".join(problems)
+
+
+def test_render_table_includes_every_row_and_summary():
+    checker = load_checker()
+    table = checker.render_table(SAMPLE)
+    assert table.startswith(checker.GENERATED_BEGIN)
+    assert table.endswith(checker.GENERATED_END)
+    assert "| mcf | ooo | 123,456 |" in table
+    assert "4.00x" in table
+    assert "best of 3 timed runs" in table
+
+
+def test_rewrite_roundtrip(tmp_path, monkeypatch):
+    checker = load_checker()
+    doc = tmp_path / "ENGINE.md"
+    doc.write_text(
+        "# title\n\nprose\n\n"
+        f"{checker.GENERATED_BEGIN}\nstale\n{checker.GENERATED_END}\n\ntail\n"
+    )
+    monkeypatch.setattr(checker, "DOC_PATH", doc)
+    checker.rewrite_doc(SAMPLE)
+    text = doc.read_text()
+    assert "stale" not in text
+    assert "| mcf | ooo |" in text
+    assert text.startswith("# title")  # prose around the markers survives
+    assert text.endswith("tail\n")

@@ -1,0 +1,69 @@
+"""ArrayPipeline internals: views, tracer stream, audits (docs/ENGINE.md).
+
+tests/sim/test_engine_equivalence.py owns the digest contract across the
+workload suite; this file covers the array engine's obligations *beyond*
+the digest — the object-structure views external observers read, the
+event stream a tracer sees, the invariant audits, and the optional
+timing/timeline instrumentation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import simulate
+from repro.telemetry.tracer import EventTracer
+from repro.uarch.array_engine import ArrayPipeline
+from repro.uarch.pipeline import Pipeline
+from repro.workloads import get_workload
+
+SCALE = 0.2
+
+
+@pytest.fixture(scope="module")
+def mcf():
+    return get_workload("mcf", scale=SCALE)
+
+
+@pytest.mark.parametrize("cadence", ["periodic", "full"])
+def test_invariant_audits_run_and_pass(mcf, cadence):
+    obj = simulate(mcf, "ooo", engine="obj", invariants=cadence).stats
+    arr = simulate(mcf, "ooo", engine="array", invariants=cadence).stats
+    assert obj.digest() == arr.digest()
+
+
+def test_tracer_event_streams_identical(mcf):
+    """Both engines must emit the same pipeline events in the same order."""
+    obj_tracer, arr_tracer = EventTracer(), EventTracer()
+    simulate(mcf, "ooo", engine="obj", tracer=obj_tracer)
+    simulate(mcf, "ooo", engine="array", tracer=arr_tracer)
+    assert obj_tracer.events == arr_tracer.events
+
+
+def test_upc_timeline_identical(mcf):
+    obj = simulate(mcf, "ooo", engine="obj", upc_window=64).stats
+    arr = simulate(mcf, "ooo", engine="array", upc_window=64).stats
+    assert obj.upc_timeline == arr.upc_timeline
+
+
+def test_record_timing_matches_object_engine(mcf):
+    trace = mcf.trace()
+    timings = {}
+    for cls in (Pipeline, ArrayPipeline):
+        pipeline = cls(trace, record_timing=True)
+        pipeline.run()
+        timings[cls] = (
+            pipeline.dispatch_times, pipeline.ready_times, pipeline.issue_times
+        )
+    assert timings[Pipeline] == timings[ArrayPipeline]
+
+
+def test_views_synced_after_run(mcf):
+    """Post-run, the object structures must reflect final machine state."""
+    pipeline = ArrayPipeline(mcf.trace())
+    stats = pipeline.run()
+    assert stats.retired == len(mcf.trace())
+    assert len(pipeline.rob) == 0  # everything retired
+    assert len(pipeline.scheduler) == 0
+    assert pipeline.lsq.load_occupancy == 0
+    assert pipeline.lsq.store_occupancy == 0
