@@ -2,9 +2,11 @@
 """Lint: the resilience catalog must be documented and exercised.
 
 The source of truth is the code: ``repro.resilience.INVARIANT_CLASSES``
-(what the checker audits) and ``repro.resilience.FAULT_CLASSES`` (what the
-injection harness can break). This script fails (exit 1) when any catalog
-entry is
+(what the checker audits), ``repro.resilience.FAULT_CLASSES`` (what the
+structural injection harness can break), and
+``repro.resilience.CHAOS_CLASSES`` (the process-level chaos the
+ChaosInjector inflicts on the pool and cache). This script fails (exit 1)
+when any catalog entry is
 
 * missing from ``docs/RESILIENCE.md`` (as a backticked name), or
 * never exercised by a test in ``tests/resilience/`` (the name must appear
@@ -33,9 +35,9 @@ _BACKTICKED_RE = re.compile(r"`([a-z][a-z0-9_]*)`")
 
 def _catalogs():
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    from repro.resilience import FAULT_CLASSES, INVARIANT_CLASSES
+    from repro.resilience import CHAOS_CLASSES, FAULT_CLASSES, INVARIANT_CLASSES
 
-    return INVARIANT_CLASSES, FAULT_CLASSES
+    return INVARIANT_CLASSES, FAULT_CLASSES, CHAOS_CLASSES
 
 
 def documented_names(text: str | None = None) -> set[str]:
@@ -52,8 +54,8 @@ def exercised_names() -> set[str]:
 
 
 def check() -> list[str]:
-    invariants, faults = _catalogs()
-    catalog = {**invariants, **faults}
+    invariants, faults, chaos = _catalogs()
+    catalog = {**invariants, **faults, **chaos}
     problems = []
     if not DOC_PATH.exists():
         return [f"{DOC_PATH} is missing"]
@@ -89,10 +91,10 @@ def main() -> int:
     if problems:
         print("\n".join(problems))
         return 1
-    invariants, faults = _catalogs()
+    invariants, faults, chaos = _catalogs()
     print(
         f"ok: {len(invariants)} invariant classes + {len(faults)} fault "
-        f"classes documented and exercised"
+        f"classes + {len(chaos)} chaos classes documented and exercised"
     )
     return 0
 

@@ -72,8 +72,10 @@ def render_table() -> str:
         "memory": "Memory hierarchy",
         "parallel": "Parallel execution (result cache, process pool)",
         "sampling": "Sampled simulation (intervals, warmup, estimator)",
+        "serve": "Job server (admission, coalescing, supervision, drain)",
     }
-    for group in ("core", "frontend", "uarch", "memory", "parallel", "sampling"):
+    for group in ("core", "frontend", "uarch", "memory", "parallel",
+                  "sampling", "serve"):
         metrics = groups.pop(group, [])
         if not metrics:
             continue

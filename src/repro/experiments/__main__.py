@@ -26,6 +26,17 @@ def build_cache(args):
     return ResultCache(args.cache_dir)
 
 
+def build_policy(args):
+    """The sweep's RetryPolicy from --retries/--retry-backoff/--deadline."""
+    from ..resilience.policy import RetryPolicy
+
+    return RetryPolicy(
+        retries=args.retries,
+        backoff_base=args.retry_backoff,
+        deadline=args.deadline,
+    )
+
+
 def run_sweep(args) -> int:
     from ..workloads import suite_names
     from .runner import SweepRunner
@@ -37,6 +48,7 @@ def run_sweep(args) -> int:
         checkpoint_path=args.checkpoint,
         scale=args.scale,
         retries=args.retries,
+        policy=build_policy(args),
         cycle_budget=args.cycle_budget,
         invariants=args.invariants,
         crash_dir=args.crash_dir,
@@ -52,7 +64,7 @@ def run_sweep(args) -> int:
     return 1 if failed else 0
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
@@ -120,6 +132,17 @@ def main(argv: list[str] | None = None) -> int:
         help="retry budget for transient per-cell failures (default: 1)",
     )
     sweep.add_argument(
+        "--retry-backoff", type=float, default=0.0, metavar="SECONDS",
+        help="base delay before the first retry; doubles per retry with "
+        "deterministic seeded jitter (docs/RESILIENCE.md; default: 0, "
+        "retry immediately)",
+    )
+    sweep.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for one cell's attempts: stop retrying a "
+        "cell once this much time has been spent on it (default: none)",
+    )
+    sweep.add_argument(
         "--cycle-budget", type=int, default=None, metavar="CYCLES",
         help="simulated-cycle budget per sweep cell (deterministic timeout; "
         "works in pool workers, unlike the old wall-clock --timeout)",
@@ -132,6 +155,11 @@ def main(argv: list[str] | None = None) -> int:
         "--crash-dir", default=None, metavar="DIR",
         help="write crash bundles for failed sweep cells to DIR",
     )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.sample != "off":

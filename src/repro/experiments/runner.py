@@ -14,7 +14,9 @@ sharing cells with it — only simulates what actually changed. ``--resume``
 composes with both: the checkpoint skips finished cells without even a
 cache lookup, and the cache answers cells other runs already simulated.
 
-Failure policy (docs/RESILIENCE.md):
+Failure policy (docs/RESILIENCE.md) — one shared
+:class:`~repro.resilience.policy.RetryPolicy` object, the same one the
+executor and the job server use:
 
 * **Hard failures** — :class:`~repro.resilience.errors.SimulationError`
   and its subclasses (invariant violations, watchdog livelock, cycle
@@ -24,8 +26,10 @@ Failure policy (docs/RESILIENCE.md):
   (:class:`~repro.resilience.errors.CellTimeout`, raised by the
   :class:`~repro.resilience.watchdog.CycleBudgetWatchdog` on any thread or
   worker process — the old ``SIGALRM`` wall-clock alarm silently never
-  fired off the POSIX main thread) and ``OSError`` — are retried up to
-  ``retries`` times before being recorded as failed.
+  fired off the POSIX main thread) and ``OSError`` — are retried within
+  the policy's budget, after its deterministic exponential-backoff delay
+  (``--retry-backoff``), until an optional per-cell wall-clock
+  ``--deadline`` is spent.
 * **Configuration errors** — ``ValueError`` (unknown mode, mislabeled
   annotations) — propagate immediately: every cell would fail the same
   way, so continuing is pointless.
@@ -39,11 +43,13 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 
 # Re-exported for backwards compatibility: CellTimeout predates the
 # resilience-layer home it now lives in.
 from ..resilience.errors import CellTimeout, SimulationError  # noqa: F401
+from ..resilience.policy import RetryPolicy
 
 CHECKPOINT_VERSION = 1
 
@@ -100,6 +106,10 @@ class SweepRunner:
     checkpoint_path: str
     scale: float = 1.0
     retries: int = 1
+    #: Shared retry policy (repro.resilience.policy.RetryPolicy). ``None``
+    #: builds a zero-backoff policy from ``retries`` (legacy behaviour);
+    #: when set, it wins and ``retries`` is ignored.
+    policy: object = None
     #: Per-cell simulated-cycle budget (None = no budget). Replaces the old
     #: wall-clock ``timeout``; see CycleBudgetWatchdog.
     cycle_budget: int | None = None
@@ -204,6 +214,12 @@ class SweepRunner:
             self._run_injected(pending)
         return self.state
 
+    def retry_policy(self) -> RetryPolicy:
+        """The effective policy: ``self.policy``, or legacy ``retries``."""
+        if self.policy is not None:
+            return self.policy
+        return RetryPolicy.immediate(self.retries)
+
     def _record(self, key: str, cell: dict) -> None:
         self.state["cells"][key] = cell
         self.save_checkpoint()
@@ -242,7 +258,7 @@ class SweepRunner:
                 parse_sample(self.sample),
                 jobs=self.jobs,
                 cache=self.cache,
-                retries=self.retries,
+                policy=self.retry_policy(),
                 stats=self.pool_stats,
                 on_result=on_result,
             )
@@ -251,19 +267,26 @@ class SweepRunner:
             specs,
             jobs=self.jobs,
             cache=self.cache,
-            retries=self.retries,
+            policy=self.retry_policy(),
             stats=self.pool_stats,
             on_result=on_result,
         )
 
     def _run_injected(self, pending: list[tuple[str, str]]) -> None:
-        """Test path: serial loop around an injected ``run_cell``."""
+        """Test path: serial loop around an injected ``run_cell``.
+
+        Classification and retry pacing both come from the shared
+        :class:`~repro.resilience.policy.RetryPolicy`, so this path and
+        the executor path fail identically.
+        """
+        from ..resilience import policy as _policy
+
+        policy = self.retry_policy()
         for workload, mode in pending:
             key = self.cell_key(workload, mode)
             cell = {"status": STATUS_FAILED, "attempts": 0}
-            attempts_left = self.retries + 1
-            while attempts_left:
-                attempts_left -= 1
+            started = time.monotonic()
+            while True:
                 cell["attempts"] += 1
                 try:
                     row = self.run_cell(
@@ -274,21 +297,27 @@ class SweepRunner:
                         crash_dir=self.crash_dir,
                         cycle_budget=self.cycle_budget,
                     )
-                except SimulationError as exc:
-                    # Hard failure: record (with any crash-bundle path) and
-                    # move on — one bad cell must not sink the sweep.
+                except Exception as exc:
+                    kind = policy.classify(exc)
+                    if kind == _policy.CONFIG:
+                        # Every cell would fail identically; stop the sweep.
+                        raise
                     cell["error"] = str(exc)
                     cell["error_type"] = type(exc).__name__
-                    if exc.bundle_path:
-                        cell["crash_bundle"] = str(exc.bundle_path)
-                    break
-                except (CellTimeout, OSError) as exc:
-                    # Transient: retry until the budget runs out.
-                    cell["error"] = str(exc)
-                    cell["error_type"] = type(exc).__name__
-                    if attempts_left:
-                        continue
-                    break
+                    if kind == _policy.HARD:
+                        # Hard failure: record (with any crash-bundle path)
+                        # and move on — one bad cell must not sink the sweep.
+                        if getattr(exc, "bundle_path", None):
+                            cell["crash_bundle"] = str(exc.bundle_path)
+                        break
+                    # Transient: retry with backoff until the budget (or
+                    # the per-cell deadline) runs out.
+                    elapsed = time.monotonic() - started
+                    if not policy.should_retry(cell["attempts"], elapsed=elapsed):
+                        break
+                    delay = policy.delay(cell["attempts"], key)
+                    if delay:
+                        time.sleep(delay)
                 else:
                     cell.update(row)
                     cell["status"] = STATUS_DONE

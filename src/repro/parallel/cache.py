@@ -29,6 +29,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -49,6 +50,9 @@ class CacheStats:
              "simulation results written into the cache"),
             ("parallel.cache.evictions", "evictions",
              "cache entries evicted (oldest-first) to respect max_entries"),
+            ("parallel.cache.corrupt", "corrupt",
+             "on-disk entries that existed but failed validation "
+             "(truncated, unparsable, or mismatched) and degraded to a miss"),
         )
         for name, field_name, desc in spec:
             registry.counter(
@@ -92,12 +96,19 @@ class ResultCache:
         """The stored payload for ``key``, or None (counted as hit/miss).
 
         A corrupt, unreadable, or schema-mismatched entry is a miss: the
-        caller re-simulates and overwrites it with a good one.
+        caller re-simulates and overwrites it with a good one. Such
+        entries are additionally counted as ``corrupt`` (an absent file is
+        a plain miss), so fault injection and operations can tell "never
+        simulated" from "stored result rotted on disk".
         """
         try:
             with open(self.path_for(key)) as handle:
                 payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.stats.corrupt += 1
             self.stats.misses += 1
             return None
         if (
@@ -105,6 +116,7 @@ class ResultCache:
             or payload.get("schema") != CACHE_SCHEMA_VERSION
             or payload.get("key") != key
         ):
+            self.stats.corrupt += 1
             self.stats.misses += 1
             return None
         self.stats.hits += 1

@@ -17,13 +17,17 @@ Execution path per cell:
    worker's global RNG is re-seeded from the cell key first, so no ambient
    RNG state can leak between cells (guarded by
    ``tests/parallel/test_executor.py``'s cross-process determinism check).
-3. Failures follow the sweep policy of docs/RESILIENCE.md:
-   :class:`~repro.resilience.errors.SimulationError` is a *hard* failure
-   (recorded, never retried); :class:`~repro.resilience.errors.CellTimeout`
-   (cycle budget, see
+3. Failures follow the shared :class:`~repro.resilience.policy.RetryPolicy`
+   (docs/RESILIENCE.md): :class:`~repro.resilience.errors.SimulationError`
+   is a *hard* failure (recorded, never retried);
+   :class:`~repro.resilience.errors.CellTimeout` (cycle budget, see
    :class:`~repro.resilience.watchdog.CycleBudgetWatchdog`) and ``OSError``
-   are *transient* (retried up to ``retries`` times); ``ValueError`` is a
-   configuration error and propagates immediately.
+   are *transient* (retried within the policy's budget, after its
+   deterministic backoff delay); ``ValueError`` is a configuration error
+   and propagates immediately. A worker process dying mid-cell
+   (``BrokenProcessPool``) is a transient failure of every in-flight cell:
+   the pool is rebuilt and only the lost cells are re-enqueued — one dead
+   worker no longer aborts the whole batch.
 4. Successful results are serialized (``SimStats.to_dict``) and stored back
    into the cache atomically.
 
@@ -35,10 +39,13 @@ round-tripping — they return a tagged failure dict instead.
 from __future__ import annotations
 
 import random
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from ..resilience.errors import CellTimeout, SimulationError
+from ..resilience.policy import RetryPolicy
 from ..uarch.stats import SimStats
 from .cache import ResultCache
 from .cellkey import CellSpec, cell_key
@@ -58,6 +65,8 @@ class PoolStats:
     retries: int = 0
     timeouts: int = 0
     hard_failures: int = 0
+    worker_crashes: int = 0
+    pool_rebuilds: int = 0
 
     def register_into(self, registry) -> None:
         """Register collector-backed counters (docs/METRICS.md contract)."""
@@ -74,6 +83,10 @@ class PoolStats:
              "cell attempts ended by the cycle-budget watchdog"),
             ("parallel.pool.hard_failures", "hard_failures",
              "cells recorded as failed (hard error or retries exhausted)"),
+            ("parallel.pool.worker_crashes", "worker_crashes",
+             "in-flight cells lost to a dying worker process"),
+            ("parallel.pool.rebuilds", "pool_rebuilds",
+             "process pools respawned after a worker crash"),
         )
         for name, field_name, desc in spec:
             registry.counter(
@@ -265,6 +278,11 @@ class _Pending:
     spec: CellSpec
     key: str
     attempts: int = 0
+    #: Wall-clock start of the first attempt (policy deadline accounting).
+    started: float = 0.0
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started if self.started else 0.0
 
 
 def run_cells(
@@ -273,6 +291,7 @@ def run_cells(
     jobs: int = 1,
     cache: ResultCache | None = None,
     retries: int = 1,
+    policy: RetryPolicy | None = None,
     stats: PoolStats | None = None,
     on_result=None,
 ) -> list[CellResult]:
@@ -283,7 +302,14 @@ def run_cells(
     with each :class:`CellResult` *as it resolves* (completion order —
     useful for incremental checkpointing); the returned list is always in
     input order.
+
+    Retry behaviour is governed by ``policy``
+    (:class:`~repro.resilience.policy.RetryPolicy`: budget, backoff,
+    deterministic jitter, deadline); when omitted, a zero-backoff policy
+    with ``retries`` extra attempts reproduces the historical behaviour.
     """
+    if policy is None:
+        policy = RetryPolicy.immediate(retries)
     stats = stats if stats is not None else PoolStats()
     stats.cells_total += len(specs)
     results: list[CellResult | None] = [None] * len(specs)
@@ -318,9 +344,9 @@ def run_cells(
 
     if pending and jobs <= 1:
         for item in pending:
-            _run_serial(item, retries, stats, resolve)
+            _run_serial(item, policy, stats, resolve)
     elif pending:
-        _run_pooled(pending, jobs, retries, stats, resolve)
+        _run_pooled(pending, jobs, policy, stats, resolve)
 
     return results  # type: ignore[return-value]
 
@@ -330,9 +356,16 @@ def _record_attempt_failure(outcome: dict, stats: PoolStats) -> None:
         stats.timeouts += 1
 
 
-def _run_serial(item: _Pending, retries, stats, resolve) -> None:
+def _retryable(item: _Pending, outcome: dict, policy: RetryPolicy) -> bool:
+    return bool(outcome.get("transient")) and policy.should_retry(
+        item.attempts, elapsed=item.elapsed()
+    )
+
+
+def _run_serial(item: _Pending, policy: RetryPolicy, stats, resolve) -> None:
+    item.started = time.monotonic()
     outcome: dict = {}
-    while item.attempts <= retries:
+    while True:
         item.attempts += 1
         stats.cells_executed += 1
         outcome = _pool_run_cell(item.spec)
@@ -342,39 +375,97 @@ def _run_serial(item: _Pending, retries, stats, resolve) -> None:
                 attempts=item.attempts, from_cache=False))
             return
         _record_attempt_failure(outcome, stats)
-        if not outcome.get("transient"):
+        if not _retryable(item, outcome, policy):
             break
-        if item.attempts <= retries:
-            stats.retries += 1
+        stats.retries += 1
+        delay = policy.delay(item.attempts, item.key)
+        if delay:
+            time.sleep(delay)
     resolve(item.index, _result_from_failure(
         item.spec, item.key, outcome, attempts=item.attempts))
 
 
-def _run_pooled(pending, jobs, retries, stats, resolve) -> None:
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {}
+#: Synthesized outcome dict for a cell lost to a dying worker process.
+def _crash_outcome() -> dict:
+    return {"ok": False, "transient": True, "error_type": "WorkerCrash",
+            "error": "worker process died mid-cell (pool broken)"}
+
+
+def _run_pooled(pending, jobs, policy: RetryPolicy, stats, resolve) -> None:
+    """Pool driver with crash supervision and deterministic backoff.
+
+    Three item pools: ``futures`` (in flight), ``deferred`` (waiting out a
+    backoff delay as ``(ready_time, item)``), and the implicit done set.
+    A ``BrokenProcessPool`` from any future means a worker died: every
+    in-flight cell is lost at once, so the pool is respawned and each lost
+    cell is retried as a transient failure — or recorded as failed when
+    its budget is spent. Configuration errors (``ValueError``) still
+    propagate and abort the run.
+    """
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    futures: dict = {}
+    deferred: list[tuple[float, _Pending]] = []
+
+    def submit(item: _Pending) -> None:
+        if not item.started:
+            item.started = time.monotonic()
+        item.attempts += 1
+        stats.cells_executed += 1
+        futures[pool.submit(_pool_run_cell, item.spec)] = item
+
+    def retry_or_fail(item: _Pending, outcome: dict) -> None:
+        if _retryable(item, outcome, policy):
+            stats.retries += 1
+            delay = policy.delay(item.attempts, item.key)
+            deferred.append((time.monotonic() + delay, item))
+        else:
+            resolve(item.index, _result_from_failure(
+                item.spec, item.key, outcome, attempts=item.attempts))
+
+    try:
         for item in pending:
-            item.attempts += 1
-            stats.cells_executed += 1
-            futures[pool.submit(_pool_run_cell, item.spec)] = item
-        while futures:
-            finished, _ = wait(futures, return_when=FIRST_COMPLETED)
+            submit(item)
+        while futures or deferred:
+            now = time.monotonic()
+            due = [item for ready, item in deferred if ready <= now]
+            if due:
+                deferred = [(r, i) for r, i in deferred if i not in due]
+                for item in due:
+                    submit(item)
+            if not futures:
+                # Only backoff timers left: sleep until the earliest.
+                time.sleep(max(0.0, min(r for r, _ in deferred) - now))
+                continue
+            timeout = None
+            if deferred:
+                timeout = max(0.0, min(r for r, _ in deferred) - now)
+            finished, _ = wait(
+                futures, timeout=timeout, return_when=FIRST_COMPLETED)
             for future in finished:
                 item = futures.pop(future)
-                # Configuration errors (ValueError) and worker crashes
-                # (BrokenProcessPool) propagate from .result() by design.
-                outcome = future.result()
+                try:
+                    # Configuration errors (ValueError) propagate from
+                    # .result() by design: every cell would fail the same.
+                    outcome = future.result()
+                except BrokenProcessPool:
+                    # A worker died. Every other in-flight future is dead
+                    # too: drain them all, respawn the pool once, and send
+                    # each lost cell through the normal transient path.
+                    lost = [item] + list(futures.values())
+                    futures.clear()
+                    stats.worker_crashes += len(lost)
+                    stats.pool_rebuilds += 1
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=jobs)
+                    for lost_item in lost:
+                        retry_or_fail(lost_item, _crash_outcome())
+                    break
                 if outcome["ok"]:
                     resolve(item.index, _result_from_payload(
                         item.spec, item.key, outcome["payload"],
                         attempts=item.attempts, from_cache=False))
                     continue
                 _record_attempt_failure(outcome, stats)
-                if outcome.get("transient") and item.attempts <= retries:
-                    stats.retries += 1
-                    item.attempts += 1
-                    stats.cells_executed += 1
-                    futures[pool.submit(_pool_run_cell, item.spec)] = item
-                    continue
-                resolve(item.index, _result_from_failure(
-                    item.spec, item.key, outcome, attempts=item.attempts))
+                retry_or_fail(item, outcome)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)

@@ -28,7 +28,14 @@ from .crash_bundle import (
     write_crash_bundle,
 )
 from .errors import CellTimeout, DeadlockError, InvariantViolation, SimulationError
-from .faults import FAULT_CLASSES, FaultInjector, inject
+from .faults import CHAOS_CLASSES, ChaosInjector, FAULT_CLASSES, FaultInjector, inject
+from .policy import (
+    CONFIG,
+    HARD,
+    TRANSIENT,
+    RetryPolicy,
+    classify,
+)
 from .invariants import (
     INVARIANT_CLASSES,
     InvariantChecker,
@@ -40,20 +47,27 @@ from .watchdog import DEFAULT_LIVELOCK_CYCLES, CycleBudgetWatchdog, Watchdog
 __all__ = [
     "BUNDLE_VERSION",
     "CellTimeout",
+    "CHAOS_CLASSES",
+    "ChaosInjector",
+    "CONFIG",
     "CycleBudgetWatchdog",
     "DEFAULT_LIVELOCK_CYCLES",
     "DeadlockError",
     "FAULT_CLASSES",
     "FaultInjector",
+    "HARD",
     "INVARIANT_CLASSES",
     "InvariantChecker",
     "InvariantViolation",
+    "RetryPolicy",
     "SimulationError",
+    "TRANSIENT",
     "Watchdog",
     "audit_age_matrix",
     "build_bundle",
     "bundle_from_pipeline",
     "check_age_matrix",
+    "classify",
     "inject",
     "load_crash_bundle",
     "write_crash_bundle",

@@ -11,13 +11,24 @@ class), so one poisoned pipeline cannot contaminate another. Each armed
 fault records whether it actually fired via :attr:`FaultInjector.fired`,
 letting tests assert the fault was exercised and not merely scheduled.
 
-:data:`FAULT_CLASSES` is the catalog contract mirrored by
-``docs/RESILIENCE.md`` and ``scripts/check_invariant_catalog.py``.
+Two catalogs live here, both mirrored by ``docs/RESILIENCE.md`` and
+linted by ``scripts/check_invariant_catalog.py``:
+
+* :data:`FAULT_CLASSES` — *structural* faults planted inside one pipeline
+  (armed by :class:`FaultInjector`), caught by the invariant checker or
+  the watchdog.
+* :data:`CHAOS_CLASSES` — *process-level* faults inflicted on the
+  execution substrate (armed by :class:`ChaosInjector`): dead or hung
+  pool workers and corrupted cache entries, caught by the pool
+  supervisor (:mod:`repro.parallel.executor`, :mod:`repro.serve`) and
+  the result cache's entry validation.
 """
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 
 #: Fault catalog: name -> (what breaks, which guard must catch it).
 FAULT_CLASSES = {
@@ -167,3 +178,92 @@ def inject(target, fault: str, *, seed: int = 1234, at: int | None = None) -> Fa
     injector = FaultInjector(seed)
     injector.arm(target, fault, at=at)
     return injector
+
+
+# -- process-level chaos -------------------------------------------------------
+
+#: Chaos catalog: name -> (what breaks, which guard must catch it).
+CHAOS_CLASSES = {
+    "killed_worker": (
+        "a pool worker process dies mid-cell (SIGKILL: OOM killer, node "
+        "failure) and every in-flight future breaks — caught by the pool "
+        "supervisor, which rebuilds the pool and re-enqueues only the "
+        "lost cells as transient failures"
+    ),
+    "hung_worker": (
+        "a pool worker stops making progress while holding a cell (no "
+        "heartbeat past the wall-clock deadline) — caught by the serve "
+        "supervisor, which kills the pool's workers so the hang surfaces "
+        "as a worker crash and the cells are retried"
+    ),
+    "corrupt_cache_entry": (
+        "an on-disk result-cache entry is truncated or bit-flipped — "
+        "caught by ResultCache.get's entry validation, which counts it "
+        "(parallel.cache.corrupt) and degrades to a miss so the cell is "
+        "re-simulated and the entry overwritten"
+    ),
+}
+
+
+class ChaosInjector:
+    """Seeded process-level chaos: kills workers, corrupts cache entries.
+
+    Unlike :class:`FaultInjector` (which wraps methods on one pipeline),
+    chaos targets the execution substrate shared by many cells — the
+    process pool and the on-disk result cache. Every choice (which
+    worker, which entry, which bytes) is drawn from a seeded RNG over a
+    *sorted* candidate list, so a chaos schedule replays exactly.
+    """
+
+    def __init__(self, seed: int = 1234):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        #: Log of (action, detail) tuples, for test assertions.
+        self.actions: list[tuple[str, str]] = []
+
+    # -- killed_worker / hung_worker ------------------------------------------
+
+    def worker_pids(self, pool) -> list[int]:
+        """Live worker PIDs of a ``ProcessPoolExecutor``, sorted."""
+        processes = getattr(pool, "_processes", None) or {}
+        return sorted(
+            proc.pid for proc in processes.values() if proc.is_alive()
+        )
+
+    def kill_worker(self, pool) -> int | None:
+        """SIGKILL one deterministic live worker; returns its PID.
+
+        Models the ``killed_worker`` chaos class. Returns ``None`` when
+        the pool has no live workers (nothing to kill is not an error:
+        chaos schedules race the work they disturb).
+        """
+        pids = self.worker_pids(pool)
+        if not pids:
+            return None
+        pid = self.rng.choice(pids)
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except OSError:
+            return None  # already gone
+        self.actions.append(("killed_worker", str(pid)))
+        return pid
+
+    # -- corrupt_cache_entry --------------------------------------------------
+
+    def corrupt_cache_entry(self, cache) -> str | None:
+        """Truncate one deterministic cache entry mid-byte; returns its path.
+
+        Models the ``corrupt_cache_entry`` chaos class against a
+        :class:`repro.parallel.cache.ResultCache`. Returns ``None`` when
+        the cache is empty.
+        """
+        entries = sorted(cache._entries())
+        if not entries:
+            return None
+        path = self.rng.choice(entries)
+        data = open(path, "rb").read()
+        cut = self.rng.randrange(1, max(2, len(data)))
+        with open(path, "wb") as handle:
+            handle.write(data[:cut] + b"\xff")
+        self.actions.append(("corrupt_cache_entry", path))
+        return path

@@ -76,6 +76,7 @@ def run_cells_sampled(
     jobs: int = 1,
     cache=None,
     retries: int = 1,
+    policy=None,
     stats: PoolStats | None = None,
     on_result=None,
 ) -> list[CellResult]:
@@ -92,7 +93,7 @@ def run_cells_sampled(
     if plan.off:
         return run_cells(
             list(specs), jobs=jobs, cache=cache, retries=retries,
-            stats=stats, on_result=on_result,
+            policy=policy, stats=stats, on_result=on_result,
         )
     parents = []
     interval_specs: list[CellSpec] = []
@@ -102,7 +103,8 @@ def run_cells_sampled(
         interval_specs.extend(children)
 
     child_results = run_cells(
-        interval_specs, jobs=jobs, cache=cache, retries=retries, stats=stats,
+        interval_specs, jobs=jobs, cache=cache, retries=retries,
+        policy=policy, stats=stats,
     )
 
     results: list[CellResult] = []

@@ -1,0 +1,41 @@
+"""Simulation-as-a-service: the fault-tolerant job server (docs/SERVE.md).
+
+``python -m repro.serve`` runs the server; ``python -m repro.serve.client``
+(or :class:`ServeClient`) talks to it over a line-oriented JSON protocol.
+The server multiplexes jobs onto the ``repro.parallel`` process pool and
+result cache with supervision (crash/hang recovery), bounded admission
+queues with backpressure, duplicate-request coalescing, shared
+retry/backoff policy, and graceful SIGTERM drain with resumable
+checkpoints.
+"""
+
+from .client import ServeClient, ServeError
+from .jobs import (
+    JOB_DONE,
+    JOB_DRAINED,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    TERMINAL_STATES,
+    Job,
+)
+from .protocol import PRIORITIES, PROTOCOL_VERSION, ProtocolError
+from .server import SimServer
+from .telemetry import ServeStats
+
+__all__ = [
+    "JOB_DONE",
+    "JOB_DRAINED",
+    "JOB_FAILED",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "Job",
+    "PRIORITIES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeClient",
+    "ServeError",
+    "ServeStats",
+    "SimServer",
+    "TERMINAL_STATES",
+]

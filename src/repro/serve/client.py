@@ -1,0 +1,234 @@
+"""Synchronous client for the simulation job server.
+
+:class:`ServeClient` speaks the line-oriented JSON protocol
+(:mod:`repro.serve.protocol`) over a UNIX or TCP socket, with blocking
+stdlib sockets only — usable from scripts, tests, and the CI smoke job
+without touching asyncio. ``python -m repro.serve.client`` wraps it in a
+small CLI (one op per invocation, response printed as JSON).
+
+The client honours the server's backpressure contract:
+:meth:`ServeClient.submit_with_retry` sleeps out ``retry_after`` hints
+(capped by its own deadline) instead of hammering a busy server.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import sys
+import time
+
+from . import protocol
+
+
+class ServeError(RuntimeError):
+    """A failure response from the server (carries the machine code)."""
+
+    def __init__(self, response: dict):
+        super().__init__(response.get("error", "server error"))
+        self.code = response.get("code")
+        self.response = response
+
+
+class ServeClient:
+    """One connection to a running :class:`~repro.serve.server.SimServer`.
+
+    Exactly one of ``socket_path`` (UNIX) or ``address`` (TCP
+    ``(host, port)``) selects the transport. The connection is opened
+    lazily on the first request and is usable as a context manager.
+    """
+
+    def __init__(self, *, socket_path: str | None = None,
+                 address: tuple | None = None, timeout: float = 60.0):
+        if (socket_path is None) == (address is None):
+            raise ValueError("pass exactly one of socket_path or address")
+        self.socket_path = socket_path
+        self.address = tuple(address) if address else None
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+        else:
+            sock = socket.create_connection(self.address, timeout=self.timeout)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        self._connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, message: dict) -> dict:
+        """Send one request, return the raw response dict (ok or not)."""
+        self._connect()
+        self._sock.sendall(protocol.encode(message))
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return protocol.decode(line)
+
+    def call(self, message: dict) -> dict:
+        """Like :meth:`request` but raises :class:`ServeError` on failure."""
+        response = self.request(message)
+        if not response.get("ok"):
+            raise ServeError(response)
+        return response
+
+    # -- ops ------------------------------------------------------------------
+
+    def submit(self, cells: list, *, priority: str | None = None) -> dict:
+        message = {"op": "submit", "cells": cells}
+        if priority is not None:
+            message["priority"] = priority
+        return self.call(message)
+
+    def submit_with_retry(self, cells: list, *, priority: str | None = None,
+                          deadline: float = 120.0) -> dict:
+        """Submit, sleeping out ``busy`` rejections until ``deadline``."""
+        start = time.monotonic()
+        while True:
+            response = self.request(
+                {"op": "submit", "cells": cells,
+                 **({"priority": priority} if priority else {})})
+            if response.get("ok"):
+                return response
+            if response.get("code") != protocol.E_BUSY:
+                raise ServeError(response)
+            wait_s = float(response.get("retry_after", 1.0))
+            if time.monotonic() + wait_s - start > deadline:
+                raise ServeError(response)
+            time.sleep(wait_s)
+
+    def sweep(self, workloads: list, modes: list, *, scale: float = 1.0,
+              priority: str | None = None, **extras) -> dict:
+        message = {"op": "sweep", "workloads": workloads, "modes": modes,
+                   "scale": scale, **extras}
+        if priority is not None:
+            message["priority"] = priority
+        return self.call(message)
+
+    def status(self, job: str) -> dict:
+        return self.call({"op": "status", "job": job})
+
+    def wait(self, job: str, *, timeout: float | None = None) -> dict:
+        return self.call({"op": "wait", "job": job, "timeout": timeout})
+
+    def health(self) -> dict:
+        return self.call({"op": "health"})
+
+    def stats(self) -> dict:
+        return self.call({"op": "stats"})
+
+    def drain(self) -> dict:
+        return self.call({"op": "drain"})
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def _build_parser():
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.client",
+        description="Talk to a running repro.serve job server.",
+    )
+    parser.add_argument("--socket", metavar="PATH",
+                        help="UNIX socket of the server")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int)
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="socket timeout in seconds (default 60)")
+    ops = parser.add_subparsers(dest="op", required=True)
+
+    submit = ops.add_parser("submit", help="run one cell")
+    submit.add_argument("--workload", required=True)
+    submit.add_argument("--mode", required=True)
+    submit.add_argument("--scale", type=float, default=1.0)
+    submit.add_argument("--cycle-budget", type=int, default=None)
+    submit.add_argument("--engine", choices=("obj", "array"), default=None)
+    submit.add_argument("--priority", choices=protocol.PRIORITIES)
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job is terminal")
+
+    sweep = ops.add_parser("sweep", help="run a workloads x modes matrix")
+    sweep.add_argument("--workloads", nargs="+", required=True)
+    sweep.add_argument("--modes", nargs="+", required=True)
+    sweep.add_argument("--scale", type=float, default=1.0)
+    sweep.add_argument("--priority", choices=protocol.PRIORITIES)
+    sweep.add_argument("--wait", action="store_true")
+
+    status = ops.add_parser("status", help="one job's status row")
+    status.add_argument("job")
+    wait = ops.add_parser("wait", help="block until a job is terminal")
+    wait.add_argument("job")
+    wait.add_argument("--timeout", type=float, default=None)
+    ops.add_parser("health", help="server health summary")
+    ops.add_parser("stats", help="server counter snapshot")
+    ops.add_parser("drain", help="graceful drain (stops the server)")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if (args.socket is None) == (args.port is None):
+        print("error: pass exactly one of --socket or --port",
+              file=sys.stderr)
+        return 2
+    client = ServeClient(
+        socket_path=args.socket,
+        address=(args.host, args.port) if args.port else None,
+        timeout=args.timeout,
+    )
+    try:
+        with client:
+            if args.op == "submit":
+                cell = {"workload": args.workload, "mode": args.mode,
+                        "scale": args.scale}
+                if args.cycle_budget is not None:
+                    cell["cycle_budget"] = args.cycle_budget
+                if args.engine is not None:
+                    cell["engine"] = args.engine
+                response = client.submit([cell], priority=args.priority)
+                if args.wait:
+                    response = client.wait(response["job"])
+            elif args.op == "sweep":
+                response = client.sweep(
+                    args.workloads, args.modes, scale=args.scale,
+                    priority=args.priority)
+                if args.wait:
+                    response = client.wait(response["job"])
+            elif args.op == "status":
+                response = client.status(args.job)
+            elif args.op == "wait":
+                response = client.wait(args.job, timeout=args.timeout)
+            else:
+                response = client.call({"op": args.op})
+    except ServeError as exc:
+        print(json.dumps(exc.response, indent=2, sort_keys=True))
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

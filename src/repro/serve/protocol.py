@@ -1,0 +1,195 @@
+"""Line-oriented JSON protocol for the simulation job server.
+
+One request per line, one response per line, both UTF-8 JSON objects —
+trivially scriptable (``nc``, ``socat``, six lines of Python) and
+debuggable by eye. The wire format is deliberately narrow: a request
+names workloads/modes/scales, never code or config objects, so a client
+can only ask for cells the server could also compute from a CLI.
+
+Requests carry ``op`` plus op-specific fields; every response carries
+``ok`` (bool). Failure responses carry ``error`` (human-readable),
+``code`` (stable machine token), and — for backpressure rejections —
+``retry_after`` (seconds the client should wait before resubmitting).
+
+| op       | request fields                                        |
+|----------|-------------------------------------------------------|
+| submit   | ``cells`` (list of cell dicts), ``priority``?         |
+| sweep    | ``workloads``, ``modes``, ``scale``?, ``priority``?   |
+| status   | ``job``                                               |
+| wait     | ``job``, ``timeout``?                                 |
+| health   | —                                                     |
+| stats    | —                                                     |
+| drain    | —                                                     |
+
+A *cell dict* is ``{"workload": ..., "mode": ..., "scale"?, "variant"?,
+"cycle_budget"?, "engine"?, "critical_pcs"?}`` — exactly the picklable
+subset of :class:`~repro.parallel.cellkey.CellSpec` that travels by
+value. See docs/SERVE.md for the full contract and failure matrix.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..parallel.cellkey import CellSpec
+
+PROTOCOL_VERSION = 1
+
+#: Hard bound on one request line; longer lines are a protocol error
+#: (and the asyncio stream reader enforces it before parsing).
+MAX_LINE_BYTES = 1 << 20
+
+#: Priority classes, highest first. Interactive single-cell jobs overtake
+#: queued bulk sweeps at dispatch time.
+PRIORITIES = ("interactive", "bulk")
+
+OPS = ("submit", "sweep", "status", "wait", "health", "stats", "drain")
+
+#: Stable machine-readable error codes.
+E_PROTOCOL = "protocol"       # unparsable/oversized line, bad field types
+E_BAD_REQUEST = "bad-request"  # well-formed but invalid (unknown op, ...)
+E_BUSY = "busy"               # admission queue full; see retry_after
+E_DRAINING = "draining"       # server is draining; not admitting
+E_UNKNOWN_JOB = "unknown-job"
+E_TIMEOUT = "timeout"         # wait timed out (job still running)
+
+
+class ProtocolError(ValueError):
+    """A request that violates the wire contract."""
+
+    def __init__(self, message: str, *, code: str = E_PROTOCOL):
+        super().__init__(message)
+        self.code = code
+
+
+def encode(message: dict) -> bytes:
+    """One wire line (compact JSON + newline) for ``message``."""
+    return json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode(line: bytes | str) -> dict:
+    """Parse one wire line into a request/response dict."""
+    if isinstance(line, str):
+        line = line.encode("utf-8")
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"request line exceeds {MAX_LINE_BYTES} bytes"
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"unparsable request line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("a request must be a JSON object")
+    return message
+
+
+def ok_response(**fields) -> dict:
+    return {"ok": True, **fields}
+
+
+def error_response(code: str, error: str, **fields) -> dict:
+    return {"ok": False, "code": code, "error": error, **fields}
+
+
+# -- request validation --------------------------------------------------------
+
+
+def _require(req: dict, field: str, types, *, code: str = E_BAD_REQUEST):
+    value = req.get(field)
+    if not isinstance(value, types) or (isinstance(value, str) and not value):
+        raise ProtocolError(
+            f"field {field!r} is required and must be {types}", code=code
+        )
+    return value
+
+
+def parse_priority(req: dict, default: str) -> str:
+    priority = req.get("priority", default)
+    if priority not in PRIORITIES:
+        raise ProtocolError(
+            f"priority must be one of {PRIORITIES}, not {priority!r}",
+            code=E_BAD_REQUEST,
+        )
+    return priority
+
+
+def parse_cell(cell: dict) -> CellSpec:
+    """A validated :class:`CellSpec` from one wire cell dict."""
+    if not isinstance(cell, dict):
+        raise ProtocolError("each cell must be a JSON object")
+    unknown = set(cell) - {
+        "workload", "mode", "scale", "variant", "cycle_budget", "engine",
+        "critical_pcs",
+    }
+    if unknown:
+        raise ProtocolError(f"unknown cell fields: {sorted(unknown)}")
+    from ..workloads import REGISTRY  # local import: registration is heavy
+
+    workload = _require(cell, "workload", str)
+    if workload not in REGISTRY.names():
+        raise ProtocolError(
+            f"unknown workload {workload!r}; known: {REGISTRY.names()}",
+            code=E_BAD_REQUEST,
+        )
+    from ..sim.simulator import MODES
+
+    mode = _require(cell, "mode", str)
+    if mode not in MODES:
+        raise ProtocolError(
+            f"unknown mode {mode!r}; known: {MODES}", code=E_BAD_REQUEST)
+    scale = cell.get("scale", 1.0)
+    if not isinstance(scale, (int, float)) or scale <= 0:
+        raise ProtocolError("cell scale must be a positive number")
+    engine = cell.get("engine")
+    if engine not in (None, "obj", "array"):
+        raise ProtocolError("cell engine must be 'obj' or 'array'")
+    cycle_budget = cell.get("cycle_budget")
+    if cycle_budget is not None and (
+        not isinstance(cycle_budget, int) or cycle_budget < 1
+    ):
+        raise ProtocolError("cell cycle_budget must be a positive integer")
+    critical_pcs = cell.get("critical_pcs")
+    if critical_pcs is not None:
+        if not isinstance(critical_pcs, list) or not all(
+            isinstance(pc, int) for pc in critical_pcs
+        ):
+            raise ProtocolError("cell critical_pcs must be a list of ints")
+        critical_pcs = tuple(critical_pcs)
+    return CellSpec(
+        workload=workload,
+        mode=mode,
+        scale=float(scale),
+        variant=cell.get("variant", "ref"),
+        critical_pcs=critical_pcs,
+        cycle_budget=cycle_budget,
+        engine=engine,
+    )
+
+
+def parse_submit(req: dict) -> tuple[list[CellSpec], str]:
+    """Validated ``(specs, priority)`` of a ``submit`` request."""
+    cells = _require(req, "cells", list)
+    if not cells:
+        raise ProtocolError("a submit request needs at least one cell")
+    specs = [parse_cell(cell) for cell in cells]
+    default = "interactive" if len(specs) == 1 else "bulk"
+    return specs, parse_priority(req, default)
+
+
+def parse_sweep(req: dict) -> tuple[list[str], list[str], float, dict, str]:
+    """Validated ``(workloads, modes, scale, extras, priority)`` of a sweep."""
+    workloads = _require(req, "workloads", list)
+    modes = _require(req, "modes", list)
+    if not workloads or not all(isinstance(w, str) and w for w in workloads):
+        raise ProtocolError("workloads must be a non-empty list of names")
+    if not modes or not all(isinstance(m, str) and m for m in modes):
+        raise ProtocolError("modes must be a non-empty list of names")
+    scale = req.get("scale", 1.0)
+    if not isinstance(scale, (int, float)) or scale <= 0:
+        raise ProtocolError("scale must be a positive number")
+    extras = {}
+    for field in ("cycle_budget", "engine"):
+        if req.get(field) is not None:
+            extras[field] = req[field]
+    return workloads, modes, float(scale), extras, parse_priority(req, "bulk")

@@ -1,0 +1,76 @@
+"""``serve.*`` telemetry group: job-server counters.
+
+Same collector-backed pattern as the ``parallel.*`` group: the server
+bumps plain integer fields and the registry reads them on demand, so the
+request path pays nothing for observability. The catalog is registered
+into :func:`repro.telemetry.metrics_catalog` and therefore lint-enforced
+against docs/METRICS.md by ``scripts/check_metrics_docs.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ServeStats:
+    """Lifetime counters of one :class:`~repro.serve.server.SimServer`."""
+
+    jobs_submitted: int = 0
+    jobs_rejected: int = 0
+    jobs_done: int = 0
+    jobs_failed: int = 0
+    jobs_drained: int = 0
+    cells_total: int = 0
+    cells_coalesced: int = 0
+    cells_retried: int = 0
+    hung_cells: int = 0
+    pool_rebuilds: int = 0
+
+    def register_into(self, registry) -> None:
+        """Register collector-backed counters (docs/METRICS.md contract)."""
+        spec = (
+            ("serve.jobs_submitted", "jobs_submitted",
+             "jobs accepted past admission control"),
+            ("serve.jobs_rejected", "jobs_rejected",
+             "jobs rejected by backpressure (queue full) or during drain"),
+            ("serve.jobs_done", "jobs_done",
+             "jobs that reached the done state (every cell ok)"),
+            ("serve.jobs_failed", "jobs_failed",
+             "jobs that reached the failed state (>= 1 cell failed)"),
+            ("serve.jobs_drained", "jobs_drained",
+             "incomplete jobs checkpointed by a graceful drain"),
+            ("serve.cells_total", "cells_total",
+             "cells requested across all admitted jobs (before coalescing)"),
+            ("serve.cells_coalesced", "cells_coalesced",
+             "cells answered by attaching to an identical in-flight cell"),
+            ("serve.cells_retried", "cells_retried",
+             "cell attempts re-run after a transient failure"),
+            ("serve.hung_cells", "hung_cells",
+             "in-flight cells past the wall-clock deadline (worker hung)"),
+            ("serve.pool_rebuilds", "pool_rebuilds",
+             "worker pools respawned after a crash or hang"),
+        )
+        for name, field_name, desc in spec:
+            registry.counter(
+                name,
+                unit="events",
+                desc=desc,
+                owner="job server",
+                figure="",
+                collect=lambda f=field_name: getattr(self, f),
+            )
+
+    def snapshot(self) -> dict:
+        return {
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_rejected": self.jobs_rejected,
+            "jobs_done": self.jobs_done,
+            "jobs_failed": self.jobs_failed,
+            "jobs_drained": self.jobs_drained,
+            "cells_total": self.cells_total,
+            "cells_coalesced": self.cells_coalesced,
+            "cells_retried": self.cells_retried,
+            "hung_cells": self.hung_cells,
+            "pool_rebuilds": self.pool_rebuilds,
+        }

@@ -48,6 +48,7 @@ def metrics_catalog() -> StatsRegistry:
     from ..parallel.cache import CacheStats
     from ..parallel.executor import PoolStats
     from ..sampling.sampler import SamplingStats
+    from ..serve.telemetry import ServeStats
     from ..uarch.config import CoreConfig
     from ..uarch.pipeline import Pipeline
 
@@ -59,4 +60,5 @@ def metrics_catalog() -> StatsRegistry:
     CacheStats().register_into(registry)
     PoolStats().register_into(registry)
     SamplingStats().register_into(registry)
+    ServeStats().register_into(registry)
     return registry

@@ -107,3 +107,57 @@ def test_counters_register_into_telemetry(cache):
     assert registry.value("parallel.cache.hits") == 1
     assert registry.value("parallel.cache.stores") == 1
     assert registry.value("parallel.cache.evictions") == 0
+
+
+# -- corruption accounting -----------------------------------------------------
+
+
+def test_corrupt_counter_distinguishes_rot_from_absence(cache):
+    """Absent entries are plain misses; mangled ones also count corrupt."""
+    cache.get(KEY_A)  # never stored: miss, not corrupt
+    assert (cache.stats.misses, cache.stats.corrupt) == (1, 0)
+
+    path = cache.put(KEY_A, {"ipc": 1.0})
+    with open(path, "w") as handle:
+        handle.write("{truncated")
+    assert cache.get(KEY_A) is None
+    assert (cache.stats.misses, cache.stats.corrupt) == (2, 1)
+
+
+def test_binary_garbage_is_counted_corrupt(cache):
+    path = cache.put(KEY_A, {"ipc": 1.0})
+    with open(path, "wb") as handle:
+        handle.write(b"\xff\xfe\x00garbage\xff")
+    assert cache.get(KEY_A) is None
+    assert cache.stats.corrupt == 1
+
+
+def test_mismatched_entry_is_counted_corrupt(cache):
+    path = cache.put(KEY_A, {"ipc": 1.0})
+    payload = json.load(open(path))
+    payload["key"] = KEY_B  # stored under the wrong address
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    assert cache.get(KEY_A) is None
+    assert cache.stats.corrupt == 1
+
+
+def test_corrupt_entry_is_overwritten_by_resimulation(cache):
+    """The recovery path: corrupt -> miss -> re-store -> clean hit."""
+    path = cache.put(KEY_A, {"ipc": 1.0})
+    with open(path, "w") as handle:
+        handle.write("not json at all")
+    assert cache.get(KEY_A) is None
+    cache.put(KEY_A, {"ipc": 1.5})
+    assert cache.get(KEY_A)["ipc"] == 1.5
+    assert cache.stats.corrupt == 1  # the clean hit adds nothing
+
+
+def test_corrupt_counter_registers_into_telemetry(cache):
+    registry = StatsRegistry()
+    cache.stats.register_into(registry)
+    path = cache.put(KEY_A, {"ipc": 1.0})
+    with open(path, "w") as handle:
+        handle.write("{")
+    cache.get(KEY_A)
+    assert registry.value("parallel.cache.corrupt") == 1

@@ -143,3 +143,71 @@ def test_explicit_critical_pcs_are_honoured():
     )[0]
     assert explicit.stats == derived.stats
     assert explicit.key != derived.key  # explicit annotation, different identity
+
+
+# -- worker-crash supervision --------------------------------------------------
+#
+# The pool uses the fork start method on Linux and creates workers lazily
+# at first submit, so monkeypatching the worker entry point in the parent
+# process is visible inside the workers (functions pickle by qualified
+# name and resolve against the forked module state). A sentinel file makes
+# the fault fire a bounded number of times.
+
+import os  # noqa: E402
+import signal  # noqa: E402
+
+from repro.parallel import executor as executor_module  # noqa: E402
+
+_real_pool_run_cell = _pool_run_cell
+
+
+def _suicidal_pool_run_cell(cell_spec):
+    """Worker entry that SIGKILLs its own process once, then behaves."""
+    sentinel = os.environ["REPRO_TEST_CRASH_SENTINEL"]
+    try:
+        fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return _real_pool_run_cell(cell_spec)
+    os.close(fd)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _always_dying_pool_run_cell(cell_spec):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def test_worker_crash_rebuilds_pool_and_recovers(tmp_path, monkeypatch):
+    """SIGKILLing a worker mid-run must cost retries, not the batch."""
+    specs = [spec("mcf"), spec("lbm"), spec("mcf", "crisp")]
+    clean = run_cells(specs, jobs=1)
+
+    monkeypatch.setenv(
+        "REPRO_TEST_CRASH_SENTINEL", str(tmp_path / "crashed-once"))
+    monkeypatch.setattr(
+        executor_module, "_pool_run_cell", _suicidal_pool_run_cell)
+    stats = PoolStats()
+    survived = run_cells(specs, jobs=2, retries=2, stats=stats)
+
+    assert all(r.ok for r in survived)
+    assert stats.worker_crashes >= 1
+    assert stats.pool_rebuilds >= 1
+    assert stats.retries >= 1
+    # Bit-identical to the unfaulted run: crashes are invisible in results.
+    for c, s in zip(clean, survived):
+        assert s.stats == c.stats
+        assert s.ipc == c.ipc
+    assert any(r.attempts > 1 for r in survived)
+
+
+def test_worker_crashes_exhaust_retry_budget_cleanly(monkeypatch):
+    """A cell whose worker always dies fails as WorkerCrash, in budget."""
+    monkeypatch.setattr(
+        executor_module, "_pool_run_cell", _always_dying_pool_run_cell)
+    stats = PoolStats()
+    cell = run_cells([spec("mcf")], jobs=2, retries=1, stats=stats)[0]
+    assert cell.status == "failed"
+    assert cell.error_type == "WorkerCrash"
+    assert cell.attempts == 2  # 1 + retries, exactly
+    assert stats.worker_crashes == 2
+    assert stats.pool_rebuilds == 2
+    assert stats.hard_failures == 1

@@ -1,0 +1,175 @@
+"""RetryPolicy: classification, budget, backoff, and jitter properties.
+
+The backoff schedule is pure arithmetic over (seed, key, attempt), so the
+interesting guarantees are property-shaped and checked over many sampled
+policies/keys rather than a couple of hand-picked examples:
+
+* delays are strictly monotone in the attempt number (guaranteed by the
+  ``backoff_factor >= 1 + jitter`` construction, up to the cap),
+* jitter is a pure function of ``(seed, key, attempt)`` — two processes
+  with the same policy compute identical schedules, different seeds or
+  keys diverge,
+* hard failures are never retried; transient ones get *exactly* the
+  configured number of extra attempts,
+* the wall-clock deadline wins over the attempt budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.resilience import (
+    CONFIG,
+    HARD,
+    TRANSIENT,
+    RetryPolicy,
+    SimulationError,
+    classify,
+)
+from repro.resilience.errors import CellTimeout
+
+KEY = "f" * 64
+
+
+def policies(n=25, seed=20220407):
+    """A deterministic sample of valid policies across the config space."""
+    rng = random.Random(seed)
+    for _ in range(n):
+        jitter = rng.choice([0.0, 0.05, 0.1, 0.25, 0.5])
+        yield RetryPolicy(
+            retries=rng.randrange(0, 5),
+            backoff_base=rng.choice([0.01, 0.1, 1.0, 3.0]),
+            backoff_factor=1.0 + jitter + rng.random() * 2,
+            backoff_max=rng.choice([10.0, 60.0, 1e9]),
+            jitter=jitter,
+            seed=rng.randrange(0, 2**32),
+        )
+
+
+def keys(n=10, seed=7):
+    rng = random.Random(seed)
+    return ["%064x" % rng.randrange(16**64) for _ in range(n)]
+
+
+# -- classification ------------------------------------------------------------
+
+
+def test_classification_taxonomy():
+    assert classify(SimulationError("boom")) == HARD
+    assert classify(CellTimeout("budget")) == TRANSIENT
+    assert classify(OSError("fork failed")) == TRANSIENT
+    assert classify(TimeoutError("socket")) == TRANSIENT  # OSError subclass
+    assert classify(ValueError("bad config")) == CONFIG
+    assert classify(KeyError("what")) == CONFIG
+
+
+def test_transient_error_type_names_cover_cross_process_failures():
+    policy = RetryPolicy()
+    for name in ("CellTimeout", "OSError", "WorkerCrash", "BrokenProcessPool"):
+        assert policy.is_transient_type(name)
+    assert not policy.is_transient_type("SimulationError")
+    assert not policy.is_transient_type("ValueError")
+
+
+# -- attempt budget ------------------------------------------------------------
+
+
+def test_hard_failures_are_never_retried():
+    """HARD classification means no retry regardless of budget."""
+    policy = RetryPolicy(retries=10)
+    assert classify(SimulationError("x")) == HARD
+    assert not policy.is_transient_type("SimulationError")
+
+
+@pytest.mark.parametrize("retries", [0, 1, 3])
+def test_exactly_retries_extra_attempts(retries):
+    policy = RetryPolicy(retries=retries)
+    allowed = [n for n in range(1, retries + 3) if policy.should_retry(n)]
+    assert allowed == list(range(1, retries + 1))
+
+
+def test_deadline_wins_over_attempt_budget():
+    policy = RetryPolicy(retries=100, deadline=5.0)
+    assert policy.should_retry(1, elapsed=4.9)
+    assert not policy.should_retry(1, elapsed=5.0)
+    assert policy.exceeded_deadline(5.0)
+    assert not policy.exceeded_deadline(4.999)
+
+
+def test_immediate_policy_has_no_backoff():
+    policy = RetryPolicy.immediate(3)
+    assert policy.retries == 3
+    assert policy.delays(KEY) == [0.0, 0.0, 0.0]
+
+
+# -- backoff schedule properties -----------------------------------------------
+
+
+def test_delays_strictly_monotone_until_cap():
+    for policy in policies():
+        for key in keys(3):
+            schedule = [policy.delay(n, key) for n in range(1, 8)]
+            for earlier, later in zip(schedule, schedule[1:]):
+                assert later >= earlier
+                if later < policy.backoff_max:
+                    assert later > earlier, (policy, schedule)
+
+
+def test_delays_respect_cap_and_positivity():
+    for policy in policies():
+        for n in range(1, 10):
+            delay = policy.delay(n, KEY)
+            assert 0.0 < delay <= policy.backoff_max
+
+
+def test_jitter_is_deterministic_per_seed_key_attempt():
+    for policy in policies(10):
+        clone = dataclasses.replace(policy)
+        for key in keys(3):
+            assert [policy.delay(n, key) for n in range(1, 6)] == [
+                clone.delay(n, key) for n in range(1, 6)
+            ]
+
+
+def test_different_seeds_or_keys_decorrelate_jitter():
+    policy = RetryPolicy(backoff_base=1.0, jitter=0.5, seed=1)
+    other_seed = dataclasses.replace(policy, seed=2)
+    key_a, key_b = keys(2)
+    assert policy.jitter_fraction(1, key_a) != other_seed.jitter_fraction(1, key_a)
+    assert policy.jitter_fraction(1, key_a) != policy.jitter_fraction(1, key_b)
+    assert policy.jitter_fraction(1, key_a) != policy.jitter_fraction(2, key_a)
+
+
+def test_jitter_fraction_in_unit_interval():
+    for policy in policies(10):
+        for key in keys(3):
+            for n in range(1, 6):
+                assert 0.0 <= policy.jitter_fraction(n, key) < 1.0
+
+
+def test_zero_base_disables_backoff_entirely():
+    policy = RetryPolicy(retries=5, backoff_base=0.0, jitter=0.5)
+    assert all(d == 0.0 for d in policy.delays(KEY))
+
+
+# -- validation ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        dict(retries=-1),
+        dict(backoff_base=-0.1),
+        dict(jitter=-0.01),
+        dict(jitter=1.5),
+        dict(backoff_factor=1.0, jitter=0.1),  # factor must cover jitter
+        dict(backoff_max=0.0),
+        dict(deadline=0.0),
+    ],
+)
+def test_invalid_policies_rejected(bad):
+    with pytest.raises(ValueError):
+        RetryPolicy(**bad)

@@ -282,3 +282,71 @@ def test_sigkill_mid_sweep_resumes_cleanly(tmp_path):
     assert calls == ["gamma/ooo", "gamma/crisp"]
     assert all(c["status"] == "done" for c in state["cells"].values())
     assert len(state["cells"]) == 6
+
+
+# -- shared RetryPolicy: backoff and deadline on the sweep path ----------------
+
+
+def test_runner_waits_out_the_policy_backoff(tmp_path):
+    """Transient retries pace themselves by the policy's deterministic
+    delay schedule instead of hammering immediately."""
+    from repro.resilience.policy import RetryPolicy
+
+    policy = RetryPolicy(retries=2, backoff_base=0.05, jitter=0.0,
+                         backoff_factor=2.0)
+    attempts = {"n": 0}
+
+    def flaky(workload, mode, **kw):
+        attempts["n"] += 1
+        if attempts["n"] < 3:
+            raise CellTimeout("transient")
+        return ok_cell(workload, mode)
+
+    runner = make_runner(tmp_path, flaky,
+                         workloads=["alpha"], modes=["ooo"], policy=policy)
+    import time as _time
+
+    start = _time.monotonic()
+    state = runner.run()
+    elapsed = _time.monotonic() - start
+    assert state["cells"]["alpha/ooo"]["status"] == "done"
+    assert state["cells"]["alpha/ooo"]["attempts"] == 3
+    # Two waits: delay(1) + delay(2) = 0.05 + 0.10 with zero jitter.
+    assert elapsed >= 0.15
+
+
+def test_runner_deadline_stops_retries_before_the_budget(tmp_path):
+    from repro.resilience.policy import RetryPolicy
+
+    policy = RetryPolicy(retries=100, backoff_base=0.0, deadline=0.2)
+    attempts = {"n": 0}
+
+    def slow_transient(workload, mode, **kw):
+        attempts["n"] += 1
+        import time as _time
+
+        _time.sleep(0.15)
+        raise CellTimeout("still transient")
+
+    runner = make_runner(tmp_path, slow_transient,
+                         workloads=["alpha"], modes=["ooo"], policy=policy)
+    state = runner.run()
+    cell = state["cells"]["alpha/ooo"]
+    assert cell["status"] == "failed"
+    assert cell["error_type"] == "CellTimeout"
+    # The wall-clock deadline cut retries far short of the 100 budget.
+    assert 2 <= cell["attempts"] <= 4
+
+
+def test_cli_flags_build_the_shared_policy():
+    from repro.experiments.__main__ import build_parser, build_policy
+    from repro.resilience.policy import RetryPolicy
+
+    args = build_parser().parse_args(
+        ["sweep", "--retries", "3", "--retry-backoff", "0.5",
+         "--deadline", "60"])
+    policy = build_policy(args)
+    assert policy == RetryPolicy(retries=3, backoff_base=0.5, deadline=60.0)
+    # Defaults: immediate retries, no deadline — the historical behaviour.
+    default = build_policy(build_parser().parse_args(["sweep"]))
+    assert default.backoff_base == 0.0 and default.deadline is None

@@ -1,0 +1,143 @@
+"""Wire protocol: framing, validation, error codes — no server needed."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+
+
+def test_encode_decode_round_trip():
+    message = {"op": "submit", "cells": [{"workload": "mcf", "mode": "ooo"}]}
+    line = protocol.encode(message)
+    assert line.endswith(b"\n")
+    assert protocol.decode(line) == message
+    assert protocol.decode(line.decode()) == message  # str lines too
+
+
+def test_encode_is_single_line_compact_json():
+    line = protocol.encode({"a": "multi\nline", "b": 1})
+    assert line.count(b"\n") == 1  # embedded newlines are escaped
+    assert json.loads(line)["a"] == "multi\nline"
+
+
+def test_oversized_line_is_a_protocol_error():
+    with pytest.raises(ProtocolError):
+        protocol.decode(b"x" * (protocol.MAX_LINE_BYTES + 1))
+
+
+@pytest.mark.parametrize("line", [b"not json", b"[1, 2]", b'"str"', b"\xff\xff"])
+def test_malformed_lines_are_protocol_errors(line):
+    with pytest.raises(ProtocolError) as err:
+        protocol.decode(line)
+    assert err.value.code == protocol.E_PROTOCOL
+
+
+def test_error_response_carries_code_and_extras():
+    response = protocol.error_response(
+        protocol.E_BUSY, "queue full", retry_after=2.5)
+    assert response == {"ok": False, "code": "busy", "error": "queue full",
+                        "retry_after": 2.5}
+
+
+# -- cell validation -----------------------------------------------------------
+
+
+def test_parse_cell_builds_a_cellspec():
+    spec = protocol.parse_cell(
+        {"workload": "mcf", "mode": "ooo", "scale": 0.25,
+         "cycle_budget": 1000, "engine": "array", "critical_pcs": [4, 8]})
+    assert spec.workload == "mcf" and spec.mode == "ooo"
+    assert spec.scale == 0.25
+    assert spec.cycle_budget == 1000
+    assert spec.engine == "array"
+    assert spec.critical_pcs == (4, 8)
+
+
+@pytest.mark.parametrize(
+    "cell",
+    [
+        "not a dict",
+        {},
+        {"workload": "mcf"},  # no mode
+        {"workload": "mcf", "mode": "ooo", "frobnicate": 1},  # unknown field
+        {"workload": "no_such_workload", "mode": "ooo"},
+        {"workload": "mcf", "mode": "no_such_mode"},
+        {"workload": "mcf", "mode": "ooo", "scale": -1},
+        {"workload": "mcf", "mode": "ooo", "scale": "big"},
+        {"workload": "mcf", "mode": "ooo", "engine": "quantum"},
+        {"workload": "mcf", "mode": "ooo", "cycle_budget": 0},
+        {"workload": "mcf", "mode": "ooo", "critical_pcs": ["pc"]},
+    ],
+)
+def test_parse_cell_rejects_bad_cells(cell):
+    with pytest.raises(ProtocolError):
+        protocol.parse_cell(cell)
+
+
+def test_cell_validation_is_a_whitelist():
+    """Code-shaped or path-shaped fields must never reach a worker."""
+    with pytest.raises(ProtocolError, match="unknown cell fields"):
+        protocol.parse_cell(
+            {"workload": "mcf", "mode": "ooo", "crash_dir": "/etc"})
+
+
+# -- request parsing -----------------------------------------------------------
+
+
+def test_parse_submit_defaults_single_cell_to_interactive():
+    specs, priority = protocol.parse_submit(
+        {"op": "submit", "cells": [{"workload": "mcf", "mode": "ooo"}]})
+    assert len(specs) == 1
+    assert priority == "interactive"
+
+
+def test_parse_submit_defaults_multi_cell_to_bulk():
+    cells = [{"workload": "mcf", "mode": "ooo"},
+             {"workload": "lbm", "mode": "ooo"}]
+    _, priority = protocol.parse_submit({"op": "submit", "cells": cells})
+    assert priority == "bulk"
+
+
+def test_parse_submit_honours_explicit_priority():
+    cells = [{"workload": "mcf", "mode": "ooo"}]
+    _, priority = protocol.parse_submit(
+        {"op": "submit", "cells": cells, "priority": "bulk"})
+    assert priority == "bulk"
+    with pytest.raises(ProtocolError):
+        protocol.parse_submit(
+            {"op": "submit", "cells": cells, "priority": "urgent"})
+
+
+def test_parse_submit_requires_cells():
+    with pytest.raises(ProtocolError):
+        protocol.parse_submit({"op": "submit"})
+    with pytest.raises(ProtocolError):
+        protocol.parse_submit({"op": "submit", "cells": []})
+
+
+def test_parse_sweep_expands_and_validates():
+    workloads, modes, scale, extras, priority = protocol.parse_sweep(
+        {"op": "sweep", "workloads": ["mcf", "lbm"], "modes": ["ooo"],
+         "scale": 0.1, "cycle_budget": 500})
+    assert workloads == ["mcf", "lbm"] and modes == ["ooo"]
+    assert scale == 0.1
+    assert extras == {"cycle_budget": 500}
+    assert priority == "bulk"
+
+
+@pytest.mark.parametrize(
+    "req",
+    [
+        {"op": "sweep", "modes": ["ooo"]},
+        {"op": "sweep", "workloads": [], "modes": ["ooo"]},
+        {"op": "sweep", "workloads": ["mcf"], "modes": [3]},
+        {"op": "sweep", "workloads": ["mcf"], "modes": ["ooo"], "scale": 0},
+    ],
+)
+def test_parse_sweep_rejects_bad_requests(req):
+    with pytest.raises(ProtocolError):
+        protocol.parse_sweep(req)

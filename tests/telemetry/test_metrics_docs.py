@@ -32,7 +32,9 @@ def test_catalog_covers_every_subsystem():
 
     names = set(metrics_catalog().names())
     roots = {name.split(".", 1)[0] for name in names}
-    assert roots == {"core", "frontend", "uarch", "memory", "parallel", "sampling"}
+    assert roots == {
+        "core", "frontend", "uarch", "memory", "parallel", "sampling", "serve",
+    }
     # Spot-check one metric per ISSUE-listed structure family.
     for expected in (
         "core.cycles",
