@@ -166,8 +166,38 @@ def bench_engines(workloads, modes, scale: float, repeats: int) -> dict:
     }
 
 
+#: The CI smoke slice of the engine race: one fast cell, ooo only.
+SMOKE_WORKLOADS = ("deepsjeng",)
+SMOKE_MODES = ("ooo",)
+
+
+def run_smoke(floor: float, repeats: int) -> int:
+    """CI's engine-speedup smoke: one cell, digests must match, and the
+    array engine must hold at least ``floor``x wall-clock (the recorded
+    acceptance number is >=5x at full scale; the default 3x absorbs
+    CI-runner noise). Writes nothing."""
+    section = bench_engines(list(SMOKE_WORKLOADS), list(SMOKE_MODES), 1.0, repeats)
+    for row in section["rows"]:
+        print(row)
+        if row["speedup"] < floor:
+            raise SystemExit(
+                f"array engine below {floor}x on "
+                f"{row['workload']}/{row['mode']}: {row}"
+            )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: engine-race section only, single ooo cell, assert "
+        "the array-engine speedup floor, write no files",
+    )
+    parser.add_argument(
+        "--smoke-floor", type=float, default=3.0, metavar="X",
+        help="minimum array/obj speedup --smoke accepts (default: 3.0)",
+    )
     parser.add_argument("--workloads", default="mcf,lbm,deepsjeng,xz")
     parser.add_argument("--modes", default="ooo,crisp")
     parser.add_argument("--scale", type=float, default=0.2)
@@ -212,6 +242,9 @@ def main(argv=None) -> int:
         help="skip regenerating the docs/ENGINE.md comparison table",
     )
     args = parser.parse_args(argv)
+
+    if args.smoke:
+        return run_smoke(args.smoke_floor, args.engine_repeats)
 
     import tempfile
 

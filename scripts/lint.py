@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""The consolidated lint gauntlet: every ``check_*.py`` in one runner.
+
+One CI step (and one tier-1 test, ``tests/test_lint.py``) instead of one
+per lint script. Each lint stays an independently runnable
+``scripts/check_<name>.py`` exposing ``check() -> list[str]`` — this
+runner imports them all, runs them all (no fail-fast: a PR sees every
+problem at once), and exits non-zero if any lint reported problems.
+
+Adding a lint = adding a ``check_<name>.py`` with a ``check()`` function;
+``LINTS`` discovers it by glob, and ``tests/test_lint.py`` asserts the
+discovery stays complete.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+SCRIPTS_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def lint_names() -> list[str]:
+    """Every lint module name, discovered by glob (``check_*`` stems)."""
+    return sorted(p.stem for p in SCRIPTS_DIR.glob("check_*.py"))
+
+
+def load_lint(name: str):
+    """Import one scripts/check_*.py as a module (scripts/ is no package)."""
+    path = SCRIPTS_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_all() -> dict[str, list[str]]:
+    """Run every lint's ``check()``; name -> problem list (empty = clean).
+
+    A lint that crashes (or lacks ``check()``) is reported as its own
+    problem rather than aborting the gauntlet.
+    """
+    results: dict[str, list[str]] = {}
+    for name in lint_names():
+        try:
+            module = load_lint(name)
+            check = getattr(module, "check", None)
+            if check is None:
+                results[name] = [
+                    f"scripts/{name}.py has no check() function; every lint "
+                    "must expose check() -> list[str] for the gauntlet"
+                ]
+                continue
+            results[name] = list(check())
+        except Exception as exc:  # noqa: BLE001 - surface, don't abort
+            results[name] = [f"lint crashed: {type(exc).__name__}: {exc}"]
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    selected = set(argv)
+    results = run_all()
+    if selected:
+        unknown = selected - set(results)
+        if unknown:
+            print(f"unknown lint(s): {sorted(unknown)}; "
+                  f"available: {sorted(results)}")
+            return 2
+        results = {k: v for k, v in results.items() if k in selected}
+    total = 0
+    for name, problems in sorted(results.items()):
+        status = "ok" if not problems else f"{len(problems)} problem(s)"
+        print(f"{name}: {status}")
+        for problem in problems:
+            print(f"  {problem}")
+        total += len(problems)
+    if total:
+        print(f"\n{total} problem(s) across {len(results)} lint(s)")
+        return 1
+    print(f"\nall {len(results)} lint(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

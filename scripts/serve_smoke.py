@@ -94,7 +94,13 @@ def main() -> int:
         checkpoints = sorted(pathlib.Path(drain_dir).glob("*.json"))
         if checkpoints:
             state = json.load(open(checkpoints[0]))
-            assert state["version"] == 1 and "cells" in state, state
+            from repro.experiments.runner import CHECKPOINT_VERSION
+
+            assert state["version"] == CHECKPOINT_VERSION, state
+            assert "cells" in state, state
+            # Full instance identity must be recorded (resume safety).
+            assert state["engine"] in ("obj", "array"), state
+            assert isinstance(state["cache_schema"], int), state
             print(f"drain checkpoint: {checkpoints[0].name} "
                   f"({len(state['cells'])}/6 cells finished)")
         else:

@@ -76,7 +76,7 @@ def execution_context(*, jobs: int | None = None, cache=None,
         _EXECUTION = previous
 
 
-def run_cells(specs) -> list[CellResult]:
+def run_cells(specs, *, on_result=None) -> list[CellResult]:
     """Run simulation cells under the active execution context.
 
     The shared execution path of the figure modules: results come back in
@@ -84,6 +84,8 @@ def run_cells(specs) -> list[CellResult]:
     positionally against ``specs``. With a ``sample`` context active, each
     cell's stats are the sampled estimator's extrapolated whole-run view
     (same shape, so figure code is oblivious to the sampling).
+    ``on_result`` is invoked per resolved cell in completion order — the
+    orchestration layer persists cells incrementally through it.
     """
     specs = list(specs)
     if _EXECUTION.engine is not None:
@@ -103,12 +105,14 @@ def run_cells(specs) -> list[CellResult]:
             jobs=_EXECUTION.jobs,
             cache=_EXECUTION.cache,
             retries=_EXECUTION.retries,
+            on_result=on_result,
         )
     return _parallel_run_cells(
         specs,
         jobs=_EXECUTION.jobs,
         cache=_EXECUTION.cache,
         retries=_EXECUTION.retries,
+        on_result=on_result,
     )
 
 

@@ -6,17 +6,91 @@ tags too little (misses the moderately-hot delinquent loads); a very low T
 tags loads that mostly hit, wasting the scheduler's priority budget. The
 paper finds T = 1% best overall, with per-application variation (moses
 prefers 2%) motivating its future-work iterative tuning.
+
+Ported to a declarative :class:`~repro.orchestrate.Experiment`: the
+baseline plus one crisp instance per threshold, each pinning its
+``CrispConfig`` into the cell identity; ``run()`` stays as the shim.
 """
 
 from __future__ import annotations
 
 from ..core.delinquency import DelinquencyConfig
 from ..core.fdo import CrispConfig
-from ..parallel.cellkey import CellSpec
+from ..orchestrate import Experiment, Instance, register
 from ..sim.comparison import geomean
-from .common import ExperimentResult, default_workloads, format_pct, require_ipcs
+from .common import ExperimentResult, format_pct
 
 THRESHOLDS = (0.05, 0.01, 0.002)
+
+
+def _label(threshold: float) -> str:
+    return f"T={threshold:.1%}"
+
+
+@register
+class Fig10Experiment(Experiment):
+    """Baseline + one crisp instance per miss-contribution threshold."""
+
+    name = "fig10"
+    title = "Figure 10: miss-contribution threshold T sensitivity"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        workloads: list[str] | None = None,
+        seeds: int = 1,
+        thresholds: tuple[float, ...] = THRESHOLDS,
+    ):
+        super().__init__(scale=scale, workloads=workloads, seeds=seeds)
+        self.thresholds = tuple(thresholds)
+
+    def args(self) -> dict:
+        args = super().args()
+        args["thresholds"] = list(self.thresholds)
+        return args
+
+    def instances(self, target) -> list[Instance]:
+        out = [Instance(name="ooo", mode="ooo")]
+        for t in self.thresholds:
+            out.append(
+                Instance(
+                    name=_label(t),
+                    mode="crisp",
+                    crisp_config=CrispConfig(
+                        delinquency=DelinquencyConfig().with_threshold(t)
+                    ),
+                )
+            )
+        return out
+
+    def table(self, plan, results) -> ExperimentResult:
+        cells = self.results_map(plan, results)
+        result = ExperimentResult(
+            experiment=self.name,
+            title=self.title,
+            headers=["workload"] + [_label(t) for t in self.thresholds],
+        )
+        ratios: dict[float, list[float]] = {t: [] for t in self.thresholds}
+        for name in self.workloads:
+            base = self.ipc(cells, name, "ooo")
+            row = [name]
+            for t in self.thresholds:
+                ratio = self.ipc(cells, name, _label(t)) / base
+                ratios[t].append(ratio)
+                row.append(format_pct(ratio))
+            result.add_row(*row)
+        result.add_row(
+            "geomean",
+            *[format_pct(geomean(ratios[t])) for t in self.thresholds],
+        )
+        result.notes.append(
+            "paper: T=1% best overall; per-app optima vary (Section 5.5)."
+        )
+        if self.seeds > 1:
+            result.notes.append(
+                f"median over {self.seeds} seed replicas per cell"
+            )
+        return result
 
 
 def run(
@@ -24,35 +98,10 @@ def run(
     workloads: list[str] | None = None,
     thresholds: tuple[float, ...] = THRESHOLDS,
 ) -> ExperimentResult:
-    result = ExperimentResult(
-        experiment="fig10",
-        title="Figure 10: miss-contribution threshold T sensitivity",
-        headers=["workload"] + [f"T={t:.1%}" for t in thresholds],
-    )
-    names = default_workloads(workloads)
-    specs = []
-    for name in names:
-        specs.append(CellSpec(workload=name, mode="ooo", scale=scale))
-        for t in thresholds:
-            crisp_config = CrispConfig(
-                delinquency=DelinquencyConfig().with_threshold(t)
-            )
-            specs.append(CellSpec(workload=name, mode="crisp", scale=scale,
-                                  crisp_config=crisp_config))
-    ipcs = require_ipcs(specs)
-    per_workload = 1 + len(thresholds)
-    ratios: dict[float, list[float]] = {t: [] for t in thresholds}
-    for i, name in enumerate(names):
-        base = ipcs[i * per_workload]
-        row = [name]
-        for j, t in enumerate(thresholds, start=1):
-            ratio = ipcs[i * per_workload + j] / base
-            ratios[t].append(ratio)
-            row.append(format_pct(ratio))
-        result.add_row(*row)
-    result.add_row("geomean", *[format_pct(geomean(ratios[t])) for t in thresholds])
-    result.notes.append("paper: T=1% best overall; per-app optima vary (Section 5.5).")
-    return result
+    """Historical entry point; now a shim over the declarative port."""
+    return Fig10Experiment(
+        scale=scale, workloads=workloads, thresholds=thresholds
+    ).run_inline()
 
 
 def main() -> None:  # pragma: no cover

@@ -6,16 +6,81 @@ row. The paper reports CRISP at +8.4% on average (max +38%) with IBDA far
 behind and regressing on several applications (moses: slices exceed the
 IST; namd/xhpcg: dependencies through memory; bwaves: wrong delinquent
 loads; fotonik/perlbench/moses: no critical-path filtering).
+
+Ported to a declarative :class:`~repro.orchestrate.Experiment`
+(docs/ORCHESTRATION.md): targets are the suite workloads (× seed
+replicas), instances are the baseline plus one column per mode. ``run()``
+stays as the historical shim — same signature, same table, bit-identical
+numbers for a single seed.
 """
 
 from __future__ import annotations
 
-from ..parallel.cellkey import CellSpec
+from ..orchestrate import Experiment, Instance, register
 from ..sim.comparison import geomean
-from .common import ExperimentResult, default_workloads, format_pct, require_ipcs
+from .common import ExperimentResult, format_pct
 
 #: Modes in Figure 7's legend order.
 DEFAULT_MODES = ("crisp", "ibda-1k", "ibda-8k", "ibda-64k", "ibda-inf")
+
+
+@register
+class Fig7Experiment(Experiment):
+    """Baseline + one instance per prefetch/slice mode, Table 1 core."""
+
+    name = "fig7"
+    title = "Figure 7: IPC improvement over the OOO baseline"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        workloads: list[str] | None = None,
+        seeds: int = 1,
+        modes: tuple[str, ...] = DEFAULT_MODES,
+    ):
+        super().__init__(scale=scale, workloads=workloads, seeds=seeds)
+        self.modes = tuple(modes)
+
+    def args(self) -> dict:
+        args = super().args()
+        args["modes"] = list(self.modes)
+        return args
+
+    def instances(self, target) -> list[Instance]:
+        return [Instance(name="ooo", mode="ooo")] + [
+            Instance(name=mode, mode=mode) for mode in self.modes
+        ]
+
+    def table(self, plan, results) -> ExperimentResult:
+        cells = self.results_map(plan, results)
+        result = ExperimentResult(
+            experiment=self.name,
+            title=self.title,
+            headers=["workload", "base IPC"] + [f"{m} gain" for m in self.modes],
+        )
+        speedups: dict[str, list[float]] = {m: [] for m in self.modes}
+        for name in self.workloads:
+            base = self.ipc(cells, name, "ooo")
+            row = [name, base]
+            for mode in self.modes:
+                ratio = self.ipc(cells, name, mode) / base
+                speedups[mode].append(ratio)
+                row.append(format_pct(ratio))
+            result.add_row(*row)
+        mean_row = ["geomean", ""]
+        for mode in self.modes:
+            mean_row.append(format_pct(geomean(speedups[mode])))
+        result.add_row(*mean_row)
+        result.notes.append(
+            "paper: CRISP +8.4% mean / +38% max; IBDA ~+1% mean with "
+            "regressions on moses, fotonik, perlbench. Reproduced claim: "
+            "ordering and sign pattern, not absolute magnitudes."
+        )
+        if self.seeds > 1:
+            result.notes.append(
+                f"median over {self.seeds} seed replicas per cell"
+            )
+        return result
 
 
 def run(
@@ -23,38 +88,10 @@ def run(
     workloads: list[str] | None = None,
     modes: tuple[str, ...] = DEFAULT_MODES,
 ) -> ExperimentResult:
-    result = ExperimentResult(
-        experiment="fig7",
-        title="Figure 7: IPC improvement over the OOO baseline",
-        headers=["workload", "base IPC"] + [f"{m} gain" for m in modes],
-    )
-    names = default_workloads(workloads)
-    all_modes = ("ooo",) + modes
-    specs = [
-        CellSpec(workload=name, mode=mode, scale=scale)
-        for name in names
-        for mode in all_modes
-    ]
-    ipcs = require_ipcs(specs)
-    speedups: dict[str, list[float]] = {m: [] for m in modes}
-    for i, name in enumerate(names):
-        base = ipcs[i * len(all_modes)]
-        row = [name, base]
-        for j, mode in enumerate(modes, start=1):
-            ratio = ipcs[i * len(all_modes) + j] / base
-            speedups[mode].append(ratio)
-            row.append(format_pct(ratio))
-        result.add_row(*row)
-    mean_row = ["geomean", ""]
-    for mode in modes:
-        mean_row.append(format_pct(geomean(speedups[mode])))
-    result.add_row(*mean_row)
-    result.notes.append(
-        "paper: CRISP +8.4% mean / +38% max; IBDA ~+1% mean with regressions "
-        "on moses, fotonik, perlbench. Reproduced claim: ordering and sign "
-        "pattern, not absolute magnitudes."
-    )
-    return result
+    """Historical entry point; now a shim over the declarative port."""
+    return Fig7Experiment(
+        scale=scale, workloads=workloads, modes=modes
+    ).run_inline()
 
 
 def main() -> None:  # pragma: no cover

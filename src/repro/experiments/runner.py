@@ -51,7 +51,12 @@ from dataclasses import dataclass, field
 from ..resilience.errors import CellTimeout, SimulationError  # noqa: F401
 from ..resilience.policy import RetryPolicy
 
-CHECKPOINT_VERSION = 1
+#: Version 2 added the full execution identity — resolved ``engine`` and
+#: result-cache ``cache_schema`` — so a resumed sweep can never silently
+#: mix rows produced under a different instance (the orchestration run
+#: manifest makes the same promise; docs/ORCHESTRATION.md). Version-1
+#: checkpoints are rejected by the version check below.
+CHECKPOINT_VERSION = 2
 
 #: Cell states recorded in the checkpoint.
 STATUS_DONE = "done"
@@ -141,10 +146,15 @@ class SweepRunner:
     # -- checkpoint ----------------------------------------------------------
 
     def _fresh_state(self) -> dict:
+        from ..parallel.cellkey import CACHE_SCHEMA_VERSION
+        from ..sim.simulator import resolve_engine
+
         return {
             "version": CHECKPOINT_VERSION,
             "scale": self.scale,
             "sample": self.sample,
+            "engine": resolve_engine(self.engine),
+            "cache_schema": CACHE_SCHEMA_VERSION,
             "workloads": list(self.workloads),
             "modes": list(self.modes),
             "cells": {},
@@ -168,6 +178,24 @@ class SweepRunner:
                 f"checkpoint {self.checkpoint_path} was taken with "
                 f"--sample={state.get('sample', 'off')}, not "
                 f"{self.sample}; full and sampled rows would mix"
+            )
+        from ..parallel.cellkey import CACHE_SCHEMA_VERSION
+        from ..sim.simulator import resolve_engine
+
+        engine = resolve_engine(self.engine)
+        if state.get("engine") != engine:
+            raise ValueError(
+                f"checkpoint {self.checkpoint_path} was taken with "
+                f"--engine={state.get('engine')}, not {engine}; engines are "
+                "result-identical (docs/ENGINE.md) but a checkpoint records "
+                "exactly how its rows were produced — re-run, or resume "
+                "with the recorded engine"
+            )
+        if state.get("cache_schema") != CACHE_SCHEMA_VERSION:
+            raise ValueError(
+                f"checkpoint {self.checkpoint_path} was taken under cache "
+                f"schema {state.get('cache_schema')!r}, this code is "
+                f"{CACHE_SCHEMA_VERSION}; cell identities changed — re-run"
             )
         return state
 

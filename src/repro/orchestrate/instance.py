@@ -1,0 +1,78 @@
+"""An Instance is one way of running a Target: mode + config + knobs.
+
+One Instance crossed with one Target lowers to exactly one
+:class:`~repro.parallel.cellkey.CellSpec` — the unit the pool, cache, and
+sampling layers already understand — so everything an Instance pins is,
+by construction, part of the cell's content-addressed identity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+from ..core.fdo import CrispConfig
+from ..parallel.cellkey import CellSpec
+from ..uarch.config import CoreConfig
+from .target import Target
+
+
+@dataclass
+class Instance:
+    """One column of an experiment's matrix.
+
+    ``name`` is the display/report identity (unique within one
+    experiment); everything else maps directly onto ``CellSpec`` fields.
+    ``config=None`` means the Table 1 Skylake preset, mirroring
+    ``CellSpec.core_config()``.
+    """
+
+    name: str
+    mode: str
+    config: CoreConfig | None = None
+    crisp_config: CrispConfig | None = None
+    critical_pcs: tuple[int, ...] | None = None
+
+    def spec(self, target: Target, scale: float = 1.0) -> CellSpec:
+        """Lower (self × target) to one simulation cell."""
+        return CellSpec(
+            workload=target.workload,
+            variant=target.variant,
+            mode=self.mode,
+            scale=scale,
+            config=self.config,
+            crisp_config=self.crisp_config,
+            critical_pcs=self.critical_pcs,
+        )
+
+    def describe(self) -> dict:
+        """JSON-serializable identity (manifest ``instances`` entries).
+
+        The core config is recorded as a digest — its full field set is
+        already hashed into every cell key; the digest keeps the manifest
+        readable while still distinguishing configs.
+        """
+        entry: dict = {"name": self.name, "mode": self.mode}
+        if self.config is None:
+            entry["config"] = "skylake-default"
+        else:
+            canon = json.dumps(
+                dataclasses.asdict(self.config),
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            entry["config"] = "sha256:" + hashlib.sha256(
+                canon.encode("utf-8")
+            ).hexdigest()[:16]
+        if self.crisp_config is not None:
+            entry["crisp_config"] = dataclasses.asdict(self.crisp_config)
+        if self.critical_pcs is not None:
+            entry["critical_pcs"] = len(self.critical_pcs)
+        return entry
+
+
+def ooo_instance(name: str = "ooo", **kw) -> Instance:
+    """The baseline instance every relative-gain experiment shares."""
+    return Instance(name=name, mode="ooo", **kw)

@@ -1,0 +1,201 @@
+"""Per-run result directories: layout, manifest, and identity checks.
+
+One ``orchestrate run`` owns one directory::
+
+    <out>/<experiment>/run-NNN/
+        manifest.json        # full run identity + per-cell index
+        cells/<key>.json     # one resolved cell per file (atomic writes)
+        report.md            # figure table + aggregate table
+        report.json          # the same, machine-readable
+
+The manifest records the **full instance identity** — resolved engine,
+sample spec, and the result-cache schema version — alongside the
+experiment's arguments and every planned cell key. ``run --resume`` and
+``report`` verify that identity against the present code and flags before
+touching a single cell, so a resumed or re-reported run can never
+silently mix engines, sample plans, or schema generations
+(:class:`RunIdentityError` names every mismatch instead).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from ..parallel.cellkey import CACHE_SCHEMA_VERSION
+from ..sim.simulator import resolve_engine
+from .experiment import Experiment, PlannedCell
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+CELLS_DIR = "cells"
+
+
+class RunIdentityError(ValueError):
+    """A run directory whose recorded identity conflicts with this run."""
+
+
+def atomic_write_json(path: Path, payload: dict) -> None:
+    """Write JSON via temp file + rename (kill-safe, like the sweep)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        os.replace(tmp, str(path))
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def new_run_dir(out: str | Path, experiment: str) -> Path:
+    """Allocate ``<out>/<experiment>/run-NNN`` (NNN = max existing + 1)."""
+    base = Path(out) / experiment
+    base.mkdir(parents=True, exist_ok=True)
+    numbers = [
+        int(p.name.split("-", 1)[1])
+        for p in base.glob("run-*")
+        if p.is_dir() and p.name.split("-", 1)[1].isdigit()
+    ]
+    run_dir = base / f"run-{max(numbers, default=0) + 1:03d}"
+    run_dir.mkdir()
+    (run_dir / CELLS_DIR).mkdir()
+    return run_dir
+
+
+def latest_run_dir(out: str | Path, experiment: str) -> Path | None:
+    base = Path(out) / experiment
+    if not base.is_dir():
+        return None
+    runs = sorted(p for p in base.glob("run-*") if p.is_dir())
+    return runs[-1] if runs else None
+
+
+def build_manifest(
+    experiment: Experiment,
+    plan: list[PlannedCell],
+    *,
+    engine: str | None = None,
+    sample: str = "off",
+) -> dict:
+    """The run's full identity: experiment, args, instance, cell index."""
+    targets = experiment.targets() if plan else []
+    instance_entries: dict[str, dict] = {}
+    for cell in plan:
+        instance_entries.setdefault(cell.instance.name, cell.instance.describe())
+    return {
+        "manifest_version": MANIFEST_VERSION,
+        "experiment": experiment.name,
+        "kind": experiment.kind,
+        "title": experiment.title,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "args": experiment.args(),
+        # The execution identity the bugfix satellite is about: everything
+        # that must match between the run that wrote a cell and the run
+        # that resumes or re-reports it.
+        "instance": {
+            "engine": resolve_engine(engine),
+            "sample": sample or "off",
+            "cache_schema": CACHE_SCHEMA_VERSION,
+        },
+        "targets": [t.describe() for t in targets],
+        "instances": instance_entries,
+        "cells": {
+            cell.key: {
+                "workload": cell.target.workload,
+                "variant": cell.target.variant,
+                "instance": cell.instance.name,
+                "mode": cell.instance.mode,
+            }
+            for cell in plan
+        },
+        "status": "planned",
+    }
+
+
+def manifest_path(run_dir: str | Path) -> Path:
+    return Path(run_dir) / MANIFEST_NAME
+
+
+def load_manifest(run_dir: str | Path) -> dict:
+    path = manifest_path(run_dir)
+    if not path.is_file():
+        raise FileNotFoundError(f"{run_dir} has no {MANIFEST_NAME}")
+    with open(path) as handle:
+        manifest = json.load(handle)
+    if manifest.get("manifest_version") != MANIFEST_VERSION:
+        raise RunIdentityError(
+            f"{path} has manifest_version "
+            f"{manifest.get('manifest_version')!r}, expected {MANIFEST_VERSION}"
+        )
+    return manifest
+
+
+def verify_identity(manifest: dict, fresh: dict, *, path: str = "") -> None:
+    """Every identity mismatch between a stored and a fresh manifest.
+
+    ``fresh`` is what this process would have written for the same run;
+    any divergence (experiment, args, engine, sample spec, cache schema,
+    or the planned cell-key set) raises with the complete list, so a
+    resume/report can never silently mix instances.
+    """
+    problems = []
+    for field in ("experiment", "kind"):
+        if manifest.get(field) != fresh.get(field):
+            problems.append(
+                f"{field}: run dir has {manifest.get(field)!r}, "
+                f"this invocation is {fresh.get(field)!r}"
+            )
+    if manifest.get("args") != fresh.get("args"):
+        problems.append(
+            f"args: run dir has {manifest.get('args')!r}, "
+            f"this invocation is {fresh.get('args')!r}"
+        )
+    stored = manifest.get("instance", {})
+    current = fresh.get("instance", {})
+    for field in ("engine", "sample", "cache_schema"):
+        if stored.get(field) != current.get(field):
+            problems.append(
+                f"instance.{field}: run dir has {stored.get(field)!r}, "
+                f"this invocation is {current.get(field)!r}"
+            )
+    if set(manifest.get("cells", {})) != set(fresh.get("cells", {})):
+        missing = sorted(set(fresh.get("cells", {})) - set(manifest.get("cells", {})))
+        extra = sorted(set(manifest.get("cells", {})) - set(fresh.get("cells", {})))
+        problems.append(
+            f"cell keys diverge (simulator or config changed): "
+            f"{len(missing)} newly planned, {len(extra)} no longer planned"
+        )
+    if problems:
+        where = f" in {path}" if path else ""
+        raise RunIdentityError(
+            "run identity mismatch%s — refusing to mix instances:\n  %s"
+            % (where, "\n  ".join(problems))
+        )
+
+
+def cell_path(run_dir: str | Path, key: str) -> Path:
+    return Path(run_dir) / CELLS_DIR / f"{key}.json"
+
+
+def store_cell(run_dir: str | Path, key: str, payload: dict) -> None:
+    atomic_write_json(cell_path(run_dir, key), payload)
+
+
+def load_cells(run_dir: str | Path) -> dict[str, dict]:
+    """Every stored cell payload, keyed by cell key; corrupt files skipped."""
+    cells_dir = Path(run_dir) / CELLS_DIR
+    loaded: dict[str, dict] = {}
+    if not cells_dir.is_dir():
+        return loaded
+    for path in sorted(cells_dir.glob("*.json")):
+        try:
+            with open(path) as handle:
+                loaded[path.stem] = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue  # treated as not-yet-run; resume re-simulates it
+    return loaded

@@ -1,0 +1,303 @@
+"""Run and report orchestrated experiments against run directories.
+
+:func:`execute_run` is the engine behind ``python -m repro.orchestrate
+run``: plan the experiment, open (or resume) a run directory, execute the
+still-missing cells through the shared pool/cache/sampling stack, persist
+every resolved cell incrementally, and render the reports.
+:func:`report_run` re-renders reports from a finished (or partial) run
+directory without simulating anything — after re-verifying the run's
+recorded identity against the present code.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from ..parallel.cellkey import CACHE_SCHEMA_VERSION, cell_key
+from ..parallel.executor import STATUS_DONE, STATUS_FAILED, CellResult
+from ..sim.simulator import resolve_engine
+from ..uarch.stats import SimStats
+from .experiment import Experiment, PlannedCell, get_experiment
+from .report import aggregate_rows, aggregate_table
+from .rundir import (
+    RunIdentityError,
+    atomic_write_json,
+    build_manifest,
+    latest_run_dir,
+    load_cells,
+    load_manifest,
+    manifest_path,
+    new_run_dir,
+    store_cell,
+    verify_identity,
+)
+
+
+def _cell_payload(result: CellResult) -> dict:
+    """The JSON stored per resolved cell (superset of a checkpoint row)."""
+    payload = {
+        "status": result.status,
+        "attempts": result.attempts,
+        "cached": result.from_cache,
+        "workload": result.spec.workload,
+        "variant": result.spec.variant,
+        "mode": result.spec.mode,
+        "result_key": result.key,
+    }
+    if result.ok:
+        stats = result.require_stats()
+        payload["ipc"] = result.ipc
+        payload["critical_pcs"] = list(result.critical_pcs)
+        payload["stats"] = stats.to_dict()
+        if result.estimate is not None:
+            payload["sampled"] = result.estimate.brief()
+    else:
+        payload["error"] = result.error
+        payload["error_type"] = result.error_type
+        if result.crash_bundle:
+            payload["crash_bundle"] = result.crash_bundle
+    return payload
+
+
+def _result_from_payload(cell: PlannedCell, payload: dict) -> CellResult:
+    """Rehydrate a stored cell file into a CellResult."""
+    if payload.get("status") != STATUS_DONE:
+        return CellResult(
+            spec=cell.spec,
+            key=payload.get("result_key", cell.key),
+            status=STATUS_FAILED,
+            attempts=payload.get("attempts", 0),
+            error=payload.get("error"),
+            error_type=payload.get("error_type"),
+            crash_bundle=payload.get("crash_bundle"),
+        )
+    return CellResult(
+        spec=cell.spec,
+        key=payload.get("result_key", cell.key),
+        status=STATUS_DONE,
+        attempts=payload.get("attempts", 0),
+        from_cache=True,  # served from the run directory, not re-simulated
+        ipc=payload["ipc"],
+        stats=SimStats.from_dict(payload["stats"]),
+        critical_pcs=tuple(payload.get("critical_pcs", ())),
+    )
+
+
+def _table_json(table) -> dict:
+    return {
+        "experiment": table.experiment,
+        "title": table.title,
+        "headers": list(table.headers),
+        "rows": [list(row) for row in table.rows],
+        "notes": list(table.notes),
+    }
+
+
+def _write_reports(run_dir: Path, manifest: dict, figure, aggregate,
+                   agg_rows: list[dict] | None, failed: list[dict]) -> dict:
+    """Write report.md / report.json; returns the report dict."""
+    report = {
+        "experiment": manifest["experiment"],
+        "kind": manifest["kind"],
+        "title": manifest["title"],
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "identity": manifest["instance"],
+        "args": manifest["args"],
+        "figure": _table_json(figure) if figure is not None else None,
+        "aggregate": agg_rows,
+        "failed": failed,
+    }
+    atomic_write_json(run_dir / "report.json", report)
+    lines = []
+    if figure is not None:
+        lines.append(figure.to_markdown())
+    if aggregate is not None:
+        lines.append(aggregate.to_markdown())
+    if failed:
+        lines.append(f"**{len(failed)} cell(s) failed:**\n")
+        for row in failed:
+            lines.append(
+                f"- `{row['workload']}/{row['variant']}/{row['instance']}`: "
+                f"[{row.get('error_type', '?')}] {row.get('error', '')}"
+            )
+        lines.append("")
+    identity = manifest["instance"]
+    lines.append(
+        f"*identity: engine={identity['engine']}, sample={identity['sample']}, "
+        f"cache_schema={identity['cache_schema']}*\n"
+    )
+    (run_dir / "report.md").write_text("\n".join(lines))
+    return report
+
+
+def _failed_rows(plan: list[PlannedCell], results: list[CellResult | None]) -> list[dict]:
+    failed = []
+    for cell, result in zip(plan, results):
+        if result is None or not result.ok:
+            failed.append({
+                "workload": cell.target.workload,
+                "variant": cell.target.variant,
+                "instance": cell.instance.name,
+                "key": cell.key,
+                "error": getattr(result, "error", None) or "missing",
+                "error_type": getattr(result, "error_type", None) or "Missing",
+            })
+    return failed
+
+
+def execute_run(
+    experiment: Experiment,
+    *,
+    out: str | Path = "runs",
+    run_dir: str | Path | None = None,
+    resume: bool = False,
+    jobs: int = 1,
+    cache=None,
+    sample: str = "off",
+    engine: str | None = None,
+    on_cell=None,
+) -> dict:
+    """Run one experiment into a run directory; returns a summary dict.
+
+    ``resume=True`` reopens an existing run directory (``run_dir`` or the
+    experiment's latest under ``out``), verifies its recorded identity
+    matches this invocation (:class:`RunIdentityError` otherwise), and
+    simulates only the cells without a stored result.
+    """
+    from ..experiments.common import execution_context, run_cells
+
+    engine = resolve_engine(engine)
+    plan = experiment.plan()
+    fresh_manifest = build_manifest(experiment, plan, engine=engine, sample=sample)
+
+    if resume:
+        path = Path(run_dir) if run_dir else latest_run_dir(out, experiment.name)
+        if path is None or not manifest_path(path).is_file():
+            raise FileNotFoundError(
+                f"no resumable run directory for {experiment.name!r} "
+                f"(looked in {run_dir or Path(out) / experiment.name})"
+            )
+        manifest = load_manifest(path)
+        verify_identity(manifest, fresh_manifest, path=str(path))
+    else:
+        path = Path(run_dir) if run_dir else new_run_dir(out, experiment.name)
+        if run_dir is not None and manifest_path(path).is_file():
+            raise RunIdentityError(
+                f"{path} already holds a run; pass --resume to continue it"
+            )
+        manifest = fresh_manifest
+        atomic_write_json(manifest_path(path), manifest)
+
+    if not plan:
+        # Legacy experiment: not cell-shaped; run it whole under the same
+        # execution context and persist only the rendered report.
+        with execution_context(jobs=jobs, cache=cache, sample=sample,
+                               engine=engine):
+            figure = experiment.run_inline()
+        manifest["status"] = "complete"
+        atomic_write_json(manifest_path(path), manifest)
+        report = _write_reports(path, manifest, figure, None, None, [])
+        return {"run_dir": str(path), "failed": 0, "figure": figure,
+                "aggregate": None, "report": report}
+
+    # Index plan positions by key (duplicate specs share one stored cell).
+    by_key: dict[str, list[int]] = {}
+    for index, cell in enumerate(plan):
+        by_key.setdefault(cell.key, []).append(index)
+
+    results: list[CellResult | None] = [None] * len(plan)
+    stored = load_cells(path) if resume else {}
+    pending: list[PlannedCell] = []
+    for key, indices in by_key.items():
+        payload = stored.get(key)
+        if payload is not None and payload.get("status") == STATUS_DONE:
+            for index in indices:
+                results[index] = _result_from_payload(plan[index], payload)
+        else:
+            pending.append(plan[indices[0]])
+
+    def persist(result: CellResult) -> None:
+        key = cell_key(result.spec)
+        store_cell(path, key, _cell_payload(result))
+        if on_cell is not None:
+            on_cell(key, result)
+
+    if pending:
+        with execution_context(jobs=jobs, cache=cache, sample=sample,
+                               engine=engine):
+            fresh = run_cells([c.spec for c in pending], on_result=persist)
+        for cell, result in zip(pending, fresh):
+            for index in by_key[cell.key]:
+                results[index] = result
+
+    failed = _failed_rows(plan, results)
+    manifest["status"] = "complete" if not failed else "partial"
+    manifest["cells_done"] = len(plan) - len(failed)
+    if cache is not None:
+        manifest["cache"] = {
+            "hits": cache.stats.hits,
+            "misses": cache.stats.misses,
+            "stores": cache.stats.stores,
+        }
+    atomic_write_json(manifest_path(path), manifest)
+
+    figure = None
+    if not failed:
+        figure = experiment.table(plan, results)
+    aggregate = aggregate_table(experiment, plan, results)
+    agg_rows = aggregate_rows(plan, results)
+    report = _write_reports(path, manifest, figure, aggregate, agg_rows, failed)
+    return {"run_dir": str(path), "failed": len(failed), "figure": figure,
+            "aggregate": aggregate, "report": report}
+
+
+def report_run(run_dir: str | Path) -> dict:
+    """Re-render reports from a run directory without simulating.
+
+    Verifies the stored identity first: a run recorded under a different
+    cache-schema generation, or whose planned cell keys no longer match
+    what the present code would produce, raises :class:`RunIdentityError`
+    instead of quietly mixing instances.
+    """
+    path = Path(run_dir)
+    manifest = load_manifest(path)
+    identity = manifest.get("instance", {})
+    if identity.get("cache_schema") != CACHE_SCHEMA_VERSION:
+        raise RunIdentityError(
+            f"{path} was recorded under cache schema "
+            f"{identity.get('cache_schema')!r}; this code is "
+            f"{CACHE_SCHEMA_VERSION} — re-run instead of re-reporting"
+        )
+
+    cls = get_experiment(manifest["experiment"])
+    experiment = cls(**manifest.get("args", {}))
+
+    if manifest.get("kind") == "legacy" or not manifest.get("cells"):
+        # Re-render the stored report (legacy runs keep no cells).
+        with open(path / "report.json") as handle:
+            report = json.load(handle)
+        return report
+
+    plan = experiment.plan()
+    fresh = build_manifest(
+        experiment, plan,
+        engine=identity.get("engine"), sample=identity.get("sample", "off"),
+    )
+    verify_identity(manifest, fresh, path=str(path))
+
+    stored = load_cells(path)
+    results: list[CellResult | None] = []
+    for cell in plan:
+        payload = stored.get(cell.key)
+        results.append(
+            _result_from_payload(cell, payload) if payload is not None else None
+        )
+    failed = _failed_rows(plan, results)
+    figure = None
+    if not failed:
+        figure = experiment.table(plan, results)
+    aggregate = aggregate_table(experiment, plan, results)
+    agg_rows = aggregate_rows(plan, results)
+    return _write_reports(path, manifest, figure, aggregate, agg_rows, failed)

@@ -1,0 +1,59 @@
+"""A Target is one workload input of the evaluation matrix.
+
+Targets reference workloads *by name* (the picklable convention the whole
+parallel layer uses); the variant carries the seed axis — ``"ref"`` is the
+canonical input, ``"ref#2"`` the second seed replica with identical sizing
+but a distinct deterministic RNG stream (``repro.workloads.base``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads.base import split_variant, variant_seed
+
+
+@dataclass(frozen=True)
+class Target:
+    """One workload input: (workload name, variant)."""
+
+    workload: str
+    variant: str = "ref"
+
+    def __post_init__(self):
+        split_variant(self.variant)  # validates base variant + replica
+
+    @property
+    def seed(self) -> int:
+        """The resolved RNG seed of this target's variant."""
+        return variant_seed(self.variant)
+
+    @property
+    def replica(self) -> int:
+        """Seed-replica index (0 for the plain variant)."""
+        return split_variant(self.variant)[1]
+
+    def label(self) -> str:
+        return (
+            self.workload
+            if self.variant == "ref"
+            else f"{self.workload}:{self.variant}"
+        )
+
+    def describe(self) -> dict:
+        """JSON-serializable identity (manifest ``targets`` entries)."""
+        return {
+            "workload": self.workload,
+            "variant": self.variant,
+            "seed": self.seed,
+        }
+
+
+def seed_variants(seeds: int, base: str = "ref") -> list[str]:
+    """The variant list for ``seeds`` replicas: ``ref, ref#1, ref#2, ...``.
+
+    ``seeds=1`` is the historical single-run behaviour (plain ``base``).
+    """
+    if seeds < 1:
+        raise ValueError(f"seeds must be >= 1, not {seeds}")
+    return [base] + [f"{base}#{i}" for i in range(1, seeds)]

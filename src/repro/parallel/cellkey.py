@@ -12,7 +12,8 @@ The key hashes every input that can change the outcome — and nothing else:
   simulator's observable behaviour or the stored payload format changes),
 * every :class:`~repro.uarch.config.CoreConfig` field, including the nested
   hierarchy and DRAM configs,
-* workload name, variant, its registered RNG seed, and scale,
+* workload name, variant (including any ``#<n>`` seed-replica suffix), its
+  resolved RNG seed, and scale,
 * the mode, and
 * the annotation: the sorted ``critical_pcs`` when given explicitly, or the
   full FDO-flow recipe (:class:`~repro.core.fdo.CrispConfig` fields) when
@@ -33,7 +34,7 @@ from dataclasses import dataclass
 
 from ..core.fdo import CrispConfig
 from ..uarch.config import CoreConfig
-from ..workloads.base import VARIANT_SEEDS
+from ..workloads.base import variant_seed
 
 #: Bump when simulator behaviour or the cached payload format changes; old
 #: cache entries then miss (different key) instead of poisoning results.
@@ -101,7 +102,7 @@ def cell_payload(spec: CellSpec) -> dict:
         "schema": CACHE_SCHEMA_VERSION,
         "workload": spec.workload,
         "variant": spec.variant,
-        "seed": VARIANT_SEEDS[spec.variant],
+        "seed": variant_seed(spec.variant),
         "scale": spec.scale,
         "mode": spec.mode,
         "annotation": _annotation_entry(spec),

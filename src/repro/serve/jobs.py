@@ -49,6 +49,12 @@ class Job:
     workloads: list[str] | None = None
     modes: list[str] | None = None
     scale: float = 1.0
+    #: Requested engine (None = server default); recorded in drain
+    #: checkpoints so a resume cannot silently mix instances.
+    engine: str | None = None
+    #: Orchestration experiment name, for jobs admitted via the
+    #: ``experiment`` op (docs/ORCHESTRATION.md).
+    experiment: str | None = None
     created: float = field(default_factory=time.monotonic)
     state: str = JOB_QUEUED
     results: list = field(default_factory=list)
@@ -109,6 +115,8 @@ class Job:
             "cells": len(self.specs),
             "remaining": self.remaining,
         }
+        if self.experiment:
+            row["experiment"] = self.experiment
         if self.checkpoint:
             row["checkpoint"] = self.checkpoint
         return row

@@ -11,15 +11,21 @@ Requests carry ``op`` plus op-specific fields; every response carries
 ``code`` (stable machine token), and — for backpressure rejections —
 ``retry_after`` (seconds the client should wait before resubmitting).
 
-| op       | request fields                                        |
-|----------|-------------------------------------------------------|
-| submit   | ``cells`` (list of cell dicts), ``priority``?         |
-| sweep    | ``workloads``, ``modes``, ``scale``?, ``priority``?   |
-| status   | ``job``                                               |
-| wait     | ``job``, ``timeout``?                                 |
-| health   | —                                                     |
-| stats    | —                                                     |
-| drain    | —                                                     |
+| op         | request fields                                          |
+|------------|---------------------------------------------------------|
+| submit     | ``cells`` (list of cell dicts), ``priority``?           |
+| sweep      | ``workloads``, ``modes``, ``scale``?, ``priority``?     |
+| experiment | ``experiment``, ``scale``?, ``workloads``?, ``seeds``?, ``engine``?, ``priority``? |
+| status     | ``job``                                                 |
+| wait       | ``job``, ``timeout``?                                   |
+| health     | —                                                       |
+| stats      | —                                                       |
+| drain      | —                                                       |
+
+An ``experiment`` request names a registered *matrix* experiment
+(``python -m repro.orchestrate list``; docs/ORCHESTRATION.md) — the
+server lowers its Target × Instance plan to cells and admits them as one
+job, exactly as if the same cells had been submitted individually.
 
 A *cell dict* is ``{"workload": ..., "mode": ..., "scale"?, "variant"?,
 "cycle_budget"?, "engine"?, "critical_pcs"?}`` — exactly the picklable
@@ -43,7 +49,8 @@ MAX_LINE_BYTES = 1 << 20
 #: queued bulk sweeps at dispatch time.
 PRIORITIES = ("interactive", "bulk")
 
-OPS = ("submit", "sweep", "status", "wait", "health", "stats", "drain")
+OPS = ("submit", "sweep", "experiment", "status", "wait", "health", "stats",
+       "drain")
 
 #: Stable machine-readable error codes.
 E_PROTOCOL = "protocol"       # unparsable/oversized line, bad field types
@@ -193,3 +200,50 @@ def parse_sweep(req: dict) -> tuple[list[str], list[str], float, dict, str]:
         if req.get(field) is not None:
             extras[field] = req[field]
     return workloads, modes, float(scale), extras, parse_priority(req, "bulk")
+
+
+def parse_experiment(req: dict) -> tuple[str, dict, str | None, str]:
+    """Validated ``(name, kwargs, engine, priority)`` of an experiment job.
+
+    ``kwargs`` are the experiment's constructor arguments (scale,
+    workloads, seeds) — the same JSON shape a run manifest records as
+    ``args``. The experiment name is checked against the orchestration
+    registry, and only matrix experiments are accepted (legacy wrappers
+    do not lower to cells the server can schedule).
+    """
+    name = _require(req, "experiment", str)
+    from ..orchestrate import registry  # local import: registration is heavy
+
+    reg = registry()
+    if name not in reg:
+        raise ProtocolError(
+            f"unknown experiment {name!r}; known: {sorted(reg)}",
+            code=E_BAD_REQUEST,
+        )
+    if reg[name].kind != "matrix":
+        raise ProtocolError(
+            f"experiment {name!r} is {reg[name].kind!r}, not 'matrix'; only "
+            "matrix experiments lower to schedulable cells — run it via "
+            "python -m repro.orchestrate instead",
+            code=E_BAD_REQUEST,
+        )
+    kwargs: dict = {}
+    scale = req.get("scale", 1.0)
+    if not isinstance(scale, (int, float)) or scale <= 0:
+        raise ProtocolError("scale must be a positive number")
+    kwargs["scale"] = float(scale)
+    workloads = req.get("workloads")
+    if workloads is not None:
+        if not isinstance(workloads, list) or not all(
+            isinstance(w, str) and w for w in workloads
+        ):
+            raise ProtocolError("workloads must be a list of names")
+        kwargs["workloads"] = workloads
+    seeds = req.get("seeds", 1)
+    if not isinstance(seeds, int) or seeds < 1:
+        raise ProtocolError("seeds must be a positive integer")
+    kwargs["seeds"] = seeds
+    engine = req.get("engine")
+    if engine not in (None, "obj", "array"):
+        raise ProtocolError("engine must be 'obj' or 'array'")
+    return name, kwargs, engine, parse_priority(req, "bulk")

@@ -480,6 +480,8 @@ class SimServer:
         if job.workloads is None or job.modes is None:
             return None
         from ..experiments.runner import CHECKPOINT_VERSION
+        from ..parallel.cellkey import CACHE_SCHEMA_VERSION
+        from ..sim.simulator import resolve_engine
 
         cells = {}
         for spec, result in zip(job.specs, job.results):
@@ -489,6 +491,11 @@ class SimServer:
             "version": CHECKPOINT_VERSION,
             "scale": job.scale,
             "sample": "off",
+            # Full instance identity (same contract as the sweep runner
+            # and the orchestration manifest): a resume under a different
+            # engine or cache-schema generation is rejected, not mixed.
+            "engine": resolve_engine(job.engine),
+            "cache_schema": CACHE_SCHEMA_VERSION,
             "workloads": job.workloads,
             "modes": job.modes,
             "cells": cells,
@@ -560,7 +567,32 @@ class SimServer:
             ]
             job, rejection = self.admit(
                 specs, priority,
-                workloads=workloads, modes=modes, scale=scale)
+                workloads=workloads, modes=modes, scale=scale,
+                engine=extras.get("engine"))
+            return rejection or protocol.ok_response(**job.row())
+        if op == "experiment":
+            name, kwargs, engine, priority = (
+                protocol.parse_experiment(request))
+            from dataclasses import replace
+
+            from ..orchestrate import get_experiment
+
+            try:
+                experiment = get_experiment(name)(**kwargs)
+                plan = experiment.plan()
+            except ValueError as exc:
+                raise ProtocolError(
+                    str(exc), code=protocol.E_BAD_REQUEST) from exc
+            specs = [cell.spec for cell in plan]
+            if engine is not None:
+                specs = [
+                    replace(spec, engine=engine) if spec.engine is None
+                    else spec
+                    for spec in specs
+                ]
+            job, rejection = self.admit(
+                specs, priority, experiment=name, engine=engine,
+                scale=kwargs["scale"])
             return rejection or protocol.ok_response(**job.row())
         if op in ("status", "wait"):
             job = self._jobs.get(request.get("job"))

@@ -12,7 +12,10 @@ Every workload builder accepts:
 * ``variant`` -- ``"train"`` or ``"ref"``. The paper profiles on SPEC's
   *train* inputs and evaluates on *ref* (Section 5.1); here the variants
   differ in RNG seed and size so the same distinction holds: criticality is
-  extracted from one input and must generalise to the other.
+  extracted from one input and must generalise to the other. A variant may
+  carry a *seed replica* suffix (``"ref#2"``): same sizing as its base
+  variant, different deterministic RNG seed — the seed axis experiment
+  reports aggregate over (median/stdev, docs/ORCHESTRATION.md).
 * ``scale`` -- multiplies iteration counts (data footprints stay fixed so
   cache behaviour is preserved); used to trade run time for precision.
 """
@@ -34,6 +37,47 @@ STACK = 0x7FFF_0000
 
 #: Seeds that make "train" and "ref" genuinely different executions.
 VARIANT_SEEDS = {"train": 0xA11CE, "ref": 0xB0B}
+
+
+def split_variant(variant: str) -> tuple[str, int]:
+    """``"ref#2"`` -> ``("ref", 2)``; a plain variant -> ``(variant, 0)``.
+
+    Raises ``ValueError`` for an unknown base variant or a malformed
+    replica suffix, so every caller validates identically.
+    """
+    base, sep, replica = variant.partition("#")
+    if base not in VARIANT_SEEDS:
+        raise ValueError(f"variant must be one of {sorted(VARIANT_SEEDS)}")
+    if not sep:
+        return base, 0
+    try:
+        number = int(replica)
+    except ValueError:
+        number = -1
+    if number < 1:
+        raise ValueError(
+            f"variant replica suffix must be a positive integer, not {variant!r}"
+        )
+    return base, number
+
+
+def variant_seed(variant: str) -> int:
+    """The RNG seed of a variant; replicas derive distinct seeds.
+
+    Plain variants keep their historical :data:`VARIANT_SEEDS` value
+    (cache keys predating seed replicas stay valid); ``"<base>#<n>"``
+    mixes ``n`` in deterministically.
+    """
+    base, replica = split_variant(variant)
+    seed = VARIANT_SEEDS[base]
+    if replica:
+        seed = (seed * 0x9E3779B1 + replica) & 0x7FFF_FFFF
+    return seed
+
+
+def is_ref(variant: str) -> bool:
+    """Whether a variant is ref-sized (``"ref"`` or any ``"ref#<n>"``)."""
+    return split_variant(variant)[0] == "ref"
 
 
 @dataclass
@@ -85,8 +129,7 @@ class WorkloadRegistry:
             raise ValueError(
                 f"unknown workload {name!r}; known: {self.names()}"
             ) from None
-        if variant not in VARIANT_SEEDS:
-            raise ValueError(f"variant must be one of {sorted(VARIANT_SEEDS)}")
+        split_variant(variant)  # validates base variant and replica suffix
         workload = builder(variant=variant, scale=scale)
         workload.category = category
         workload.variant = variant
@@ -101,8 +144,12 @@ REGISTRY = WorkloadRegistry()
 
 
 def variant_rng(variant: str, salt: int = 0) -> random.Random:
-    """Deterministic RNG that differs between train and ref inputs."""
-    return random.Random(VARIANT_SEEDS[variant] * 1_000_003 + salt)
+    """Deterministic RNG that differs between train and ref inputs.
+
+    Seed replicas (``"ref#2"``) get their own stream; plain variants are
+    bit-compatible with the pre-replica behaviour.
+    """
+    return random.Random(variant_seed(variant) * 1_000_003 + salt)
 
 
 def scaled(value: int, scale: float, minimum: int = 1) -> int:

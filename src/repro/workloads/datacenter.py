@@ -27,6 +27,7 @@ from .base import (
     STACK,
     TABLE,
     Workload,
+    is_ref,
     scaled,
     variant_rng,
 )
@@ -66,7 +67,7 @@ def build_moses(
     """
     rng = variant_rng(variant, salt=20)
     memory: dict[int, int] = {}
-    rounds = scaled(11 if variant == "ref" else 9, scale)
+    rounds = scaled(11 if is_ref(variant) else 9, scale)
     slots = rounds * blocks + 8
     stride = 320
     start = build_offset_cycle(
@@ -151,7 +152,7 @@ def build_memcached(variant: str = "ref", scale: float = 1.0) -> Workload:
     """GET-request loop: hash -> bucket probe -> chain hop -> value burst."""
     rng = variant_rng(variant, salt=21)
     memory: dict[int, int] = {}
-    requests = scaled(640 if variant == "ref" else 520, scale)
+    requests = scaled(640 if is_ref(variant) else 520, scale)
     num_buckets = 1 << 18  # 2 MiB bucket array of node indices
     node_slots = 1 << 15
     node_stride = 192
@@ -233,7 +234,7 @@ def build_img_dnn(variant: str = "ref", scale: float = 1.0, *, tile: int = 12) -
     """Handwriting-recognition analogue: dense dot products + few gathers."""
     rng = variant_rng(variant, salt=22)
     memory: dict[int, int] = {}
-    rows = scaled(520 if variant == "ref" else 420, scale)
+    rows = scaled(520 if is_ref(variant) else 420, scale)
     build_array(memory, base=HEAP, num_words=rows * tile + tile, value=lambda i: rng.randrange(1, 255))
     build_array(memory, base=HEAP2, num_words=tile, value=lambda i: rng.randrange(1, 255))
     # 256 KiB embedding table: LLC-resident after warm-up, so the gathers'

@@ -12,7 +12,7 @@ divider.
 from __future__ import annotations
 
 from ..isa.assembler import Asm
-from .base import HEAP, REGISTRY, STACK, Workload, scaled, variant_rng
+from .base import HEAP, REGISTRY, STACK, Workload, is_ref, scaled, variant_rng
 from .kernels import build_array
 
 
@@ -21,7 +21,7 @@ def build_div_chain(
 ) -> Workload:
     rng = variant_rng(variant, salt=30)
     memory: dict[int, int] = {}
-    iters = scaled(900 if variant == "ref" else 740, scale)
+    iters = scaled(900 if is_ref(variant) else 740, scale)
     build_array(memory, base=HEAP, num_words=16, value=lambda i: i + 2)
 
     a = Asm()

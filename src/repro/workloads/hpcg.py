@@ -21,7 +21,7 @@ EXPERIMENTS.md for the deviation discussion.)
 from __future__ import annotations
 
 from ..isa.assembler import Asm
-from .base import HEAP, HEAP2, HEAP3, REGISTRY, STACK, TABLE, Workload, scaled, variant_rng
+from .base import HEAP, HEAP2, HEAP3, REGISTRY, STACK, TABLE, Workload, is_ref, scaled, variant_rng
 from .kernels import build_array, build_index_array, emit_reload_burst
 
 
@@ -30,7 +30,7 @@ def build_xhpcg(
 ) -> Workload:
     rng = variant_rng(variant, salt=13)
     memory: dict[int, int] = {}
-    rows = scaled(380 if variant == "ref" else 310, scale)
+    rows = scaled(380 if is_ref(variant) else 310, scale)
     x_entries = 1 << 18  # 2 MiB vector: gathers miss
     build_array(
         memory, base=TABLE, num_words=x_entries, value=lambda i: rng.randrange(x_entries)

@@ -22,7 +22,7 @@ authors' Xeon; the same jump in shape here).
 from __future__ import annotations
 
 from ..isa.assembler import Asm
-from .base import HEAP, HEAP2, REGISTRY, STACK, Workload, scaled, variant_rng
+from .base import HEAP, HEAP2, REGISTRY, STACK, Workload, is_ref, scaled, variant_rng
 from .kernels import build_array, build_linked_list
 
 
@@ -38,7 +38,7 @@ def build_pointer_chase(
     rng = variant_rng(variant, salt=0xF16)
     memory: dict[int, int] = {}
     if num_nodes is None:
-        num_nodes = scaled(500 if variant == "ref" else 400, scale)
+        num_nodes = scaled(500 if is_ref(variant) else 400, scale)
     node_addrs = build_linked_list(
         memory, rng, base=HEAP, num_nodes=num_nodes, node_stride=256, value_words=1
     )

@@ -50,6 +50,7 @@ from .base import (
     STACK,
     TABLE,
     Workload,
+    is_ref,
     scaled,
     variant_rng,
 )
@@ -80,7 +81,7 @@ def build_mcf(variant: str = "ref", scale: float = 1.0) -> Workload:
     """
     rng = variant_rng(variant, salt=1)
     memory: dict[int, int] = {}
-    iters = scaled(330 if variant == "ref" else 270, scale)
+    iters = scaled(330 if is_ref(variant) else 270, scale)
     stride = 320
     starts = []
     for c in range(2):
@@ -138,7 +139,7 @@ def build_omnetpp(variant: str = "ref", scale: float = 1.0) -> Workload:
     """Discrete-event simulation analogue: streamed handles, two random hops."""
     rng = variant_rng(variant, salt=2)
     memory: dict[int, int] = {}
-    events = scaled(620 if variant == "ref" else 500, scale)
+    events = scaled(620 if is_ref(variant) else 500, scale)
     stride = 256
     # Event records at base + index*stride; word 0 schedules the successor
     # event (one long permutation cycle), words 1-2 hold type and data.
@@ -211,7 +212,7 @@ def build_lbm(variant: str = "ref", scale: float = 1.0) -> Workload:
     """
     rng = variant_rng(variant, salt=3)
     memory: dict[int, int] = {}
-    cells = scaled(1500 if variant == "ref" else 1250, scale)
+    cells = scaled(1500 if is_ref(variant) else 1250, scale)
     build_array(memory, base=HEAP, num_words=cells * 3 + 8, value=lambda i: rng.randrange(1, 255))
 
     a = Asm()
@@ -275,7 +276,7 @@ def build_deepsjeng(variant: str = "ref", scale: float = 1.0) -> Workload:
     memory: dict[int, int] = {}
     tt_entries = 1 << 18  # 2 MiB transposition table
     build_array(memory, base=TABLE, num_words=tt_entries, value=lambda i: rng.randrange(1 << 14))
-    nodes = scaled(640 if variant == "ref" else 520, scale)
+    nodes = scaled(640 if is_ref(variant) else 520, scale)
     out = _out_array(memory)
 
     a = Asm()
@@ -337,7 +338,7 @@ def build_perlbench(
     """Interpreter analogue: hard bytecode dispatch + symbol-table probes."""
     rng = variant_rng(variant, salt=5)
     memory: dict[int, int] = {}
-    prog_len = scaled(1500 if variant == "ref" else 1250, scale)
+    prog_len = scaled(1500 if is_ref(variant) else 1250, scale)
     build_index_array(memory, rng, base=HEAP, num_entries=prog_len, target_entries=num_ops)
     ht_entries = 1 << 18
     build_array(memory, base=TABLE, num_words=ht_entries, value=lambda i: rng.randrange(1 << 12))
@@ -403,7 +404,7 @@ def build_gcc(
     """Compiler-IR analogue: index-linked IR walk + per-kind transforms."""
     rng = variant_rng(variant, salt=6)
     memory: dict[int, int] = {}
-    nodes = scaled(560 if variant == "ref" else 460, scale)
+    nodes = scaled(560 if is_ref(variant) else 460, scale)
     stride = 320
     order = build_offset_cycle(
         memory, rng, base=HEAP, num_slots=nodes + 4, stride=stride, value_words=3
@@ -476,7 +477,7 @@ def build_bwaves(variant: str = "ref", scale: float = 1.0) -> Workload:
     """
     rng = variant_rng(variant, salt=7)
     memory: dict[int, int] = {}
-    grid = scaled(1800 if variant == "ref" else 1500, scale)
+    grid = scaled(1800 if is_ref(variant) else 1500, scale)
     build_array(memory, base=HEAP, num_words=grid + 16, value=lambda i: rng.randrange(1, 1 << 10))
     gather_entries = 1 << 18
     build_array(memory, base=TABLE, num_words=gather_entries, value=lambda i: rng.randrange(1 << 10))
@@ -536,7 +537,7 @@ def build_cactus(variant: str = "ref", scale: float = 1.0) -> Workload:
     """
     rng = variant_rng(variant, salt=8)
     memory: dict[int, int] = {}
-    cells = scaled(900 if variant == "ref" else 740, scale)
+    cells = scaled(900 if is_ref(variant) else 740, scale)
     build_array(memory, base=HEAP, num_words=cells + 8, value=lambda i: rng.randrange(1 << 16))
     coeff_entries = 1 << 18
     build_array(memory, base=TABLE, num_words=coeff_entries, value=lambda i: rng.randrange(1, 1 << 10))
@@ -596,7 +597,7 @@ def build_fotonik(variant: str = "ref", scale: float = 1.0) -> Workload:
     """FDTD analogue: chained A[B[i]] gathers linked through a stack spill."""
     rng = variant_rng(variant, salt=9)
     memory: dict[int, int] = {}
-    n = scaled(800 if variant == "ref" else 660, scale)
+    n = scaled(800 if is_ref(variant) else 660, scale)
     field_entries = 1 << 18
     build_array(
         memory, base=TABLE, num_words=field_entries, value=lambda i: rng.randrange(field_entries)
@@ -654,7 +655,7 @@ REGISTRY.register("fotonik", "spec", build_fotonik, "chained gathers through a s
 def _build_md(name: str, salt: int, variant: str, scale: float, *, through_memory: bool) -> Workload:
     rng = variant_rng(variant, salt=salt)
     memory: dict[int, int] = {}
-    pairs = scaled(800 if variant == "ref" else 660, scale)
+    pairs = scaled(800 if is_ref(variant) else 660, scale)
     pos_entries = 1 << 18
     build_array(memory, base=TABLE, num_words=pos_entries, value=lambda i: rng.randrange(1, 1 << 10))
     build_index_array(memory, rng, base=HEAP, num_entries=pairs, target_entries=pos_entries)
@@ -736,7 +737,7 @@ def build_xz(variant: str = "ref", scale: float = 1.0) -> Workload:
     """LZMA match-finder analogue: hash-chain probes over a history window."""
     rng = variant_rng(variant, salt=12)
     memory: dict[int, int] = {}
-    steps = scaled(700 if variant == "ref" else 580, scale)
+    steps = scaled(700 if is_ref(variant) else 580, scale)
     window = 1 << 14
     build_array(memory, base=HEAP, num_words=window, value=lambda i: rng.randrange(256))
     hash_entries = 1 << 18

@@ -205,6 +205,36 @@ def test_scale_mismatch_rejected(tmp_path):
         make_runner(tmp_path, ok_cell, scale=0.5).run(resume=True)
 
 
+def test_checkpoint_records_full_execution_identity(tmp_path):
+    """Checkpoint v2: engine + cache schema ride along with every sweep."""
+    from repro.parallel.cellkey import CACHE_SCHEMA_VERSION
+    from repro.sim.simulator import resolve_engine
+
+    state = make_runner(tmp_path, ok_cell).run()
+    assert state["version"] == CHECKPOINT_VERSION
+    assert state["engine"] == resolve_engine(None)
+    assert state["cache_schema"] == CACHE_SCHEMA_VERSION
+
+
+def test_engine_mismatch_rejected_on_resume(tmp_path):
+    from repro.sim.simulator import resolve_engine
+
+    make_runner(tmp_path, ok_cell).run()
+    other = "array" if resolve_engine(None) == "obj" else "obj"
+    with pytest.raises(ValueError, match="engine"):
+        make_runner(tmp_path, ok_cell, engine=other).run(resume=True)
+
+
+def test_cache_schema_mismatch_rejected_on_resume(tmp_path):
+    make_runner(tmp_path, ok_cell).run()
+    path = tmp_path / "sweep.json"
+    state = json.loads(path.read_text())
+    state["cache_schema"] = -1
+    path.write_text(json.dumps(state))
+    with pytest.raises(ValueError, match="cache"):
+        make_runner(tmp_path, ok_cell).run(resume=True)
+
+
 def test_real_cell_runs_the_simulator(tmp_path):
     runner = SweepRunner(
         workloads=["mcf"],

@@ -1,0 +1,128 @@
+"""The ``experiment`` op: orchestrated experiments through the job server.
+
+A matrix experiment named on the wire is lowered to its Target × Instance
+cells and admitted as one bulk job; legacy and unknown experiments are
+rejected at the protocol layer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError, parse_experiment
+from repro.serve.server import SimServer
+
+FAST = 0.05
+
+
+@contextlib.asynccontextmanager
+async def serving(tmp_path, **kw):
+    kw.setdefault("jobs", 2)
+    kw.setdefault("tick", 0.01)
+    kw.setdefault("drain_dir", str(tmp_path / "drain"))
+    server = SimServer(**kw)
+    await server.start(socket_path=str(tmp_path / "serve.sock"))
+    try:
+        yield server
+    finally:
+        await server.stop()
+
+
+# -- protocol validation -------------------------------------------------------
+
+
+def test_parse_experiment_accepts_a_matrix_experiment():
+    name, kwargs, engine, priority = parse_experiment({
+        "op": "experiment", "experiment": "suite",
+        "workloads": ["pointer_chase"], "scale": FAST, "seeds": 2,
+    })
+    assert name == "suite"
+    assert kwargs == {"scale": FAST, "workloads": ["pointer_chase"],
+                      "seeds": 2}
+    assert engine is None and priority == "bulk"
+
+
+def test_parse_experiment_rejects_legacy_and_unknown():
+    with pytest.raises(ProtocolError, match="not 'matrix'"):
+        parse_experiment({"op": "experiment", "experiment": "table1"})
+    with pytest.raises(ProtocolError, match="unknown experiment"):
+        parse_experiment({"op": "experiment", "experiment": "fig99"})
+
+
+def test_parse_experiment_validates_fields():
+    with pytest.raises(ProtocolError, match="seeds"):
+        parse_experiment({"op": "experiment", "experiment": "suite",
+                          "seeds": 0})
+    with pytest.raises(ProtocolError, match="scale"):
+        parse_experiment({"op": "experiment", "experiment": "suite",
+                          "scale": -1})
+    with pytest.raises(ProtocolError, match="engine"):
+        parse_experiment({"op": "experiment", "experiment": "suite",
+                          "engine": "turbo"})
+
+
+# -- end to end through the server ---------------------------------------------
+
+
+def test_experiment_job_runs_to_done(tmp_path):
+    async def scenario():
+        async with serving(tmp_path) as server:
+            admitted = await server.handle_request({
+                "op": "experiment", "experiment": "suite",
+                "workloads": ["pointer_chase"], "scale": FAST,
+            })
+            assert admitted["ok"], admitted
+            assert admitted["experiment"] == "suite"
+            assert admitted["cells"] == 2  # ooo + crisp
+            done = await server.handle_request(
+                {"op": "wait", "job": admitted["job"], "timeout": 120})
+            assert done["state"] == "done", done
+            assert done["experiment"] == "suite"
+            for row in done["results"]:
+                assert row["status"] == "done" and row["ipc"] > 0, row
+
+    asyncio.run(scenario())
+
+
+def test_experiment_job_rejections_on_the_server(tmp_path):
+    async def scenario():
+        async with serving(tmp_path) as server:
+            legacy = await server.handle_request(
+                {"op": "experiment", "experiment": "table1"})
+            assert not legacy["ok"]
+            assert legacy["code"] == protocol.E_BAD_REQUEST
+            unknown = await server.handle_request(
+                {"op": "experiment", "experiment": "fig99"})
+            assert not unknown["ok"]
+            assert unknown["code"] == protocol.E_BAD_REQUEST
+
+    asyncio.run(scenario())
+
+
+def test_experiment_cells_coalesce_with_plain_submits(tmp_path):
+    """An experiment cell and an identical submitted cell share one
+    execution — experiments get no private cell identity."""
+
+    async def scenario():
+        async with serving(tmp_path, jobs=1) as server:
+            exp = await server.handle_request({
+                "op": "experiment", "experiment": "suite",
+                "workloads": ["pointer_chase"], "scale": FAST,
+            })
+            dup = await server.handle_request({
+                "op": "submit",
+                "cells": [{"workload": "pointer_chase", "mode": "ooo",
+                           "scale": FAST}],
+            })
+            a = await server.handle_request(
+                {"op": "wait", "job": exp["job"], "timeout": 120})
+            b = await server.handle_request(
+                {"op": "wait", "job": dup["job"], "timeout": 120})
+            assert a["state"] == b["state"] == "done"
+            assert server.stats.cells_coalesced >= 1
+
+    asyncio.run(scenario())

@@ -270,6 +270,11 @@ def test_drain_checkpoints_unfinished_sweep_for_resume(tmp_path, monkeypatch):
     state = json.load(open(path))
     assert state["cells"]["pointer_chase/ooo"]["status"] == "done"
     assert "div_chain/ooo" not in state["cells"]
+    # The checkpoint carries the full execution identity (v2 contract).
+    from repro.parallel.cellkey import CACHE_SCHEMA_VERSION
+
+    assert state["engine"] in ("obj", "array")
+    assert state["cache_schema"] == CACHE_SCHEMA_VERSION
 
     from repro.experiments.runner import SweepRunner
 
