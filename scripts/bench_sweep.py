@@ -25,6 +25,11 @@ warmup run each), asserting identical SimStats digests and recording
 wall-clock, cycles/s, and the array/obj speedup per cell — the acceptance
 evidence for the array engine. The same rows regenerate the comparison
 table in docs/ENGINE.md (``scripts/check_engine_docs.py --write``).
+
+A fourth section benchmarks a *generated* workload (docs/WORKGEN.md): one
+``gen:`` cell run cold then warm against its own cache, recording the
+compile (name -> program) cost and proving generated cells cache like any
+named workload.
 """
 
 from __future__ import annotations
@@ -166,6 +171,50 @@ def bench_engines(workloads, modes, scale: float, repeats: int) -> dict:
     }
 
 
+def bench_generated(gen_name: str, scale: float, work_dir) -> dict:
+    """One generated-workload cell (docs/WORKGEN.md), cold vs warm.
+
+    The generated path adds a compile step (name -> program + memory image)
+    in front of simulation; this section records that build cost and proves
+    a ``gen:`` cell is an ordinary cacheable citizen of the parallel layer —
+    the warm pass must answer from the cache like any named workload.
+    """
+    from repro.parallel import CellSpec, ResultCache, run_cells
+    from repro.workgen import parse_name, workload_digest
+    from repro.workloads import get_workload
+
+    parse_name(gen_name)  # fail fast on a non-canonical spelling
+    start = time.perf_counter()
+    workload = get_workload(gen_name, scale=scale)
+    build_s = time.perf_counter() - start
+
+    cache = ResultCache(str(pathlib.Path(work_dir) / "gen_cache"))
+    spec = CellSpec(workload=gen_name, mode="ooo", scale=scale)
+    start = time.perf_counter()
+    cold = run_cells([spec], cache=cache)[0]
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = run_cells([spec], cache=cache)[0]
+    warm_s = time.perf_counter() - start
+    if not warm.from_cache:
+        raise SystemExit(f"warm generated cell missed the cache: {gen_name}")
+    if warm.ipc != cold.ipc:
+        raise SystemExit(
+            f"warm generated cell diverged: {warm.ipc} != {cold.ipc}"
+        )
+    return {
+        "workload": gen_name,
+        "scale": scale,
+        "static_insts": len(workload.program.insts),
+        "workload_digest": workload_digest(workload),
+        "build_wall_s": round(build_s, 3),
+        "cold_wall_s": round(cold_s, 3),
+        "warm_wall_s": round(warm_s, 3),
+        "warm_from_cache": True,
+        "ipc": round(cold.ipc, 4),
+    }
+
+
 #: The CI smoke slice of the engine race: one fast cell, ooo only.
 SMOKE_WORKLOADS = ("deepsjeng",)
 SMOKE_MODES = ("ooo",)
@@ -238,6 +287,15 @@ def main(argv=None) -> int:
         help="timed runs per engine per cell; best (min) wall-clock is kept",
     )
     parser.add_argument(
+        "--gen-spec", default="gen:pcd4,mlp2,ent0.50,ws256,sl3,lf0.30#0",
+        metavar="NAME",
+        help="generated workload for the workgen section (docs/WORKGEN.md)",
+    )
+    parser.add_argument(
+        "--gen-scale", type=float, default=0.5,
+        help="scale for the generated-workload section",
+    )
+    parser.add_argument(
         "--no-doc-rewrite", action="store_true",
         help="skip regenerating the docs/ENGINE.md comparison table",
     )
@@ -282,6 +340,7 @@ def main(argv=None) -> int:
         "sampled_vs_full": bench_sampled_vs_full(
             args.sample_workload, args.sample_scale, args.sample
         ),
+        "generated": bench_generated(args.gen_spec, args.gen_scale, work_dir),
         "engines": bench_engines(
             args.engine_workloads.split(","),
             args.engine_modes.split(","),

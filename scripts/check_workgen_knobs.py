@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Lint: docs/WORKGEN.md's knob table matches the live WorkloadSpec.
+
+The generator's contract lives in two places — the code
+(``repro.workgen.spec``: fields, short codes, defaults, tolerances, knob
+meanings) and the docs (the knob table in ``docs/WORKGEN.md``). This lint
+renders the table from the code and compares row-for-row, so adding,
+reordering, or re-tolerancing a knob without updating the docs (or vice
+versa) fails CI. Runs standalone, inside ``scripts/lint.py``, and inside
+tier-1 (``tests/test_lint.py``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DOC = REPO_ROOT / "docs" / "WORKGEN.md"
+HEADER = "| knob | code | default | tolerance | meaning |"
+
+
+def expected_rows() -> list[str]:
+    """The knob table rows docs/WORKGEN.md must contain, from the code."""
+    from repro.workgen.spec import KNOBS, WorkloadSpec, spec_fields, tolerance_text
+
+    defaults = WorkloadSpec()
+    if list(KNOBS) != spec_fields():
+        raise AssertionError(
+            f"KNOBS order {list(KNOBS)} != WorkloadSpec fields {spec_fields()}"
+        )
+    rows = []
+    for field, (code, _, meaning) in KNOBS.items():
+        rows.append(
+            f"| `{field}` | `{code}` | {getattr(defaults, field)} "
+            f"| {tolerance_text(field)} | {meaning} |"
+        )
+    return rows
+
+
+def documented_rows(doc_text: str) -> list[str]:
+    """The knob-table body rows present in the doc (after the header)."""
+    lines = doc_text.splitlines()
+    try:
+        start = lines.index(HEADER)
+    except ValueError:
+        return []
+    rows = []
+    for line in lines[start + 2:]:  # skip the |---| separator
+        if not re.match(r"\|\s*`", line):
+            break
+        rows.append(re.sub(r"\s+", " ", line.strip()))
+    return rows
+
+
+def check(doc_text: str | None = None) -> list[str]:
+    """One problem string per knob-table divergence between code and docs."""
+    if doc_text is None:
+        if not DOC.is_file():
+            return ["docs/WORKGEN.md is missing (the workgen knob contract)"]
+        doc_text = DOC.read_text()
+    if HEADER not in doc_text:
+        return [
+            f"docs/WORKGEN.md has no knob table (expected header {HEADER!r})"
+        ]
+    expected = expected_rows()
+    documented = documented_rows(doc_text)
+    problems = []
+    for i, row in enumerate(expected):
+        if i >= len(documented):
+            problems.append(f"docs/WORKGEN.md knob table is missing row: {row}")
+        elif documented[i] != row:
+            problems.append(
+                "docs/WORKGEN.md knob table row diverges from "
+                f"repro.workgen.spec:\n    docs: {documented[i]}\n    code: {row}"
+            )
+    for row in documented[len(expected):]:
+        problems.append(
+            f"docs/WORKGEN.md knob table has an extra row (no such knob): {row}"
+        )
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} workgen knob-table problem(s)")
+        return 1
+    print("docs/WORKGEN.md knob table matches repro.workgen.spec")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

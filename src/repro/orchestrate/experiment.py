@@ -262,6 +262,7 @@ def _ensure_loaded() -> None:
     if _LOADED:
         return
     from .. import experiments
+    from ..workgen import grid  # noqa: F401  (registers property_grid)
 
     for exp_id, module in experiments.EXPERIMENTS.items():
         if exp_id not in _REGISTRY:

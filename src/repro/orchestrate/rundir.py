@@ -75,6 +75,24 @@ def latest_run_dir(out: str | Path, experiment: str) -> Path | None:
     return runs[-1] if runs else None
 
 
+def _target_identity(targets) -> dict | None:
+    """Workload-build provenance of a run's targets.
+
+    Named analogues are fully determined by the code tree the cell keys
+    already hash, but *generated* targets (``gen:`` names, docs/WORKGEN.md)
+    additionally depend on the generator's revision. Recording it here —
+    and comparing it in :func:`verify_identity` — makes a resume or
+    re-report across generator versions a hard :class:`RunIdentityError`
+    instead of a silent mix of differently-built workloads.
+    """
+    generated = sorted({t.workload for t in targets if t.workload.startswith("gen:")})
+    if not generated:
+        return None
+    from ..workgen.spec import GENERATOR_VERSION
+
+    return {"generator_version": GENERATOR_VERSION, "generated_targets": len(generated)}
+
+
 def build_manifest(
     experiment: Experiment,
     plan: list[PlannedCell],
@@ -101,6 +119,7 @@ def build_manifest(
             "engine": resolve_engine(engine),
             "sample": sample or "off",
             "cache_schema": CACHE_SCHEMA_VERSION,
+            "target_identity": _target_identity(targets),
         },
         "targets": [t.describe() for t in targets],
         "instances": instance_entries,
@@ -157,7 +176,7 @@ def verify_identity(manifest: dict, fresh: dict, *, path: str = "") -> None:
         )
     stored = manifest.get("instance", {})
     current = fresh.get("instance", {})
-    for field in ("engine", "sample", "cache_schema"):
+    for field in ("engine", "sample", "cache_schema", "target_identity"):
         if stored.get(field) != current.get(field):
             problems.append(
                 f"instance.{field}: run dir has {stored.get(field)!r}, "

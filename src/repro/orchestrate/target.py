@@ -41,12 +41,27 @@ class Target:
         )
 
     def describe(self) -> dict:
-        """JSON-serializable identity (manifest ``targets`` entries)."""
-        return {
+        """JSON-serializable identity (manifest ``targets`` entries).
+
+        Generated targets (``gen:`` names, docs/WORKGEN.md) additionally
+        record the spec and generator version they were built from — the
+        per-target half of the run's build provenance.
+        """
+        entry = {
             "workload": self.workload,
             "variant": self.variant,
             "seed": self.seed,
         }
+        if self.workload.startswith("gen:"):
+            from ..workgen.spec import GENERATOR_VERSION, parse_name
+
+            spec, gen_seed = parse_name(self.workload)
+            entry["generator"] = {
+                "version": GENERATOR_VERSION,
+                "seed": gen_seed,
+                "spec": spec.knob_values(),
+            }
+        return entry
 
 
 def seed_variants(seeds: int, base: str = "ref") -> list[str]:

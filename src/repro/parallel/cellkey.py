@@ -113,6 +113,15 @@ def cell_payload(spec: CellSpec) -> dict:
             "interval": list(spec.interval),
             "warmup": spec.warmup,
         }
+    if spec.workload.startswith("gen:"):
+        # Generated workloads: the name already pins the spec + seed, but
+        # the program it compiles to depends on the generator's code
+        # revision — hash that in so a generator change can never serve
+        # stale cached results (docs/WORKGEN.md). Non-generated cells are
+        # untouched (their historical keys stay valid).
+        from ..workgen.spec import GENERATOR_VERSION
+
+        payload["generator"] = {"version": GENERATOR_VERSION}
     return payload
 
 

@@ -134,7 +134,17 @@ def parse_cell(cell: dict) -> CellSpec:
     from ..workloads import REGISTRY  # local import: registration is heavy
 
     workload = _require(cell, "workload", str)
-    if workload not in REGISTRY.names():
+    if workload.startswith("gen:"):
+        # Generated workloads (docs/WORKGEN.md) are addressed by canonical
+        # spec name, not the registry; validate the spelling here so a bad
+        # name is a protocol error, not a worker crash.
+        from ..workgen.spec import WorkloadSpecError, parse_name
+
+        try:
+            parse_name(workload)
+        except WorkloadSpecError as exc:
+            raise ProtocolError(str(exc), code=E_BAD_REQUEST) from None
+    elif workload not in REGISTRY.names():
         raise ProtocolError(
             f"unknown workload {workload!r}; known: {REGISTRY.names()}",
             code=E_BAD_REQUEST,

@@ -1,0 +1,61 @@
+"""Parameterised, seeded workload generation with property verification.
+
+``repro.workgen`` turns the evaluation from "4 hand-built analogues" into
+a property space: a :class:`WorkloadSpec` names six workload-character
+knobs, the generator compiles it into a deterministic repro-ISA program
+(``gen:<spec>#<seed>`` workload names, first-class everywhere a workload
+name is), the verifier measures the achieved properties from the emulator
+trace, and the ``property_grid`` experiment sweeps a knob against the
+prefetcher zoo through the ordinary pool/cache/sampling/engine stack.
+
+See docs/WORKGEN.md for knob semantics, the determinism contract, and the
+tolerance table; ``python -m repro.workgen {emit,measure,grid}`` is the
+standalone CLI.
+"""
+
+from .generator import build_generated, plan_shape, program_digest, workload_digest
+from .spec import (
+    GENERATOR_VERSION,
+    KNOBS,
+    TOLERANCES,
+    WorkloadSpec,
+    WorkloadSpecError,
+    encode_name,
+    is_generated,
+    parse_name,
+    tolerance_text,
+    within_tolerance,
+)
+from .verify import (
+    MeasuredProperties,
+    PropertyVerificationError,
+    measure,
+    measure_name,
+    measure_trace,
+    verify,
+    violations,
+)
+
+__all__ = [
+    "GENERATOR_VERSION",
+    "KNOBS",
+    "MeasuredProperties",
+    "PropertyVerificationError",
+    "TOLERANCES",
+    "WorkloadSpec",
+    "WorkloadSpecError",
+    "build_generated",
+    "encode_name",
+    "is_generated",
+    "measure",
+    "measure_name",
+    "measure_trace",
+    "parse_name",
+    "plan_shape",
+    "program_digest",
+    "tolerance_text",
+    "verify",
+    "violations",
+    "within_tolerance",
+    "workload_digest",
+]

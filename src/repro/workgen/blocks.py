@@ -1,0 +1,147 @@
+"""Composable program blocks the generator assembles specs from.
+
+Each block couples an *emission* idiom (straight-line assembly appended to
+one shared loop body) with the *memory image* it walks. The blocks are the
+property-bearing primitives of :mod:`repro.workgen`:
+
+* :class:`ChaseStream` — an index-linked pointer-chase cycle (the
+  ``build_offset_cycle`` idiom: each node stores the successor's *index*,
+  so the successor address must be computed through a genuine
+  address-generation slice). One stream per unit of MLP; hops per
+  iteration set the chase depth; the slice length is padded to order.
+* :func:`emit_branch_hammock` — a data-dependent two-sided hammock whose
+  outcome bit is drawn per node with probability p chosen so the branch's
+  outcome entropy hits the requested value. Both sides retire the same
+  instruction count, so the dynamic mix is outcome-independent.
+* :func:`emit_strided_walk` — a wrapped strided walk over a small
+  cache-hot pad array; used to raise the load fraction without touching
+  the working set or the dependence structure.
+* pad ALU (:func:`emit_pad_alu`) — an independent accumulator chain; used
+  to lower the load fraction.
+
+All emission is straight-line inside one outer loop: no inner loops, so
+per-PC branch statistics and per-iteration dependence chains measure
+exactly what one knob asked for.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..isa.assembler import Asm
+
+#: Bytes between chase nodes: one 64-byte line per node, no two nodes on
+#: the same line, so unique-lines-touched equals nodes-visited.
+NODE_STRIDE = 128
+
+#: Pad array geometry: 8 lines (64 words) — cache-hot after the first
+#: iteration, and small against the minimum working set (32 KiB).
+PAD_LINES = 8
+PAD_WORDS = PAD_LINES * 8
+
+
+class ChaseStream:
+    """One pointer-chase stream: registers, memory cycle, hop emission."""
+
+    def __init__(self, index: int, base: int, num_slots: int):
+        self.index = index
+        self.base = base
+        self.num_slots = num_slots
+        self.idx_reg = f"r{1 + index}"       # current node index
+        self.addr_reg = f"r{9 + index}"      # last computed node address
+
+    def build_memory(
+        self, memory: dict[int, int], rng: random.Random, *,
+        payload_bits: random.Random | None = None, taken_prob: float = 0.0,
+    ) -> int:
+        """Materialise the full-cycle index links; returns the start index.
+
+        Node layout: word 0 = successor *index*, word 1 = hammock payload
+        bit (streams without a hammock leave it 0). The traversal order is
+        one full-length random cycle, so no table prefetcher can predict
+        the next address, and the cycle revisits a line only after
+        ``num_slots`` hops.
+        """
+        order = list(range(self.num_slots))
+        rng.shuffle(order)
+        for pos, slot in enumerate(order):
+            addr = self.base + slot * NODE_STRIDE
+            memory[addr >> 3] = order[(pos + 1) % self.num_slots]
+            bit = 0
+            if payload_bits is not None:
+                bit = 1 if payload_bits.random() < taken_prob else 0
+            memory[(addr + 8) >> 3] = bit
+        return order[0]
+
+    def emit_hop(self, asm: Asm, slice_length: int) -> None:
+        """One dependent chase hop: index -> address slice -> load.
+
+        The address slice is exactly ``slice_length`` ALU ops, every one
+        on the dependence path between the previous load (which produced
+        the index) and the next (which consumes the address):
+        ``muli`` scales the index, identity ``addi #0`` ops pad the slice
+        to order, and the final ``addi`` rebases into the stream's region.
+        """
+        asm.muli(self.addr_reg, self.idx_reg, NODE_STRIDE)
+        for _ in range(slice_length - 2):
+            asm.addi(self.addr_reg, self.addr_reg, 0)
+        asm.addi(self.addr_reg, self.addr_reg, self.base)
+        asm.load(self.idx_reg, self.addr_reg, 0)
+
+
+def emit_branch_hammock(asm: Asm, payload_addr_reg: str, label: str) -> None:
+    """A data-dependent hammock on the node's payload bit.
+
+    Reads the payload word of the node ``payload_addr_reg`` points at (the
+    same cache line as the chase load — no extra footprint, no extra miss)
+    and branches on its low bit. Taken and fall-through paths both retire
+    exactly four instructions after the branch-feeding ``andi``, so every
+    per-iteration count is outcome-independent and only the *outcome
+    entropy* varies with the payload distribution.
+    """
+    asm.load("r25", payload_addr_reg, 8)
+    asm.andi("r20", "r25", 1)
+    asm.bne("r20", "r0", f"{label}_t")
+    # fall-through side: 3 ALU + jmp = 4 retired.
+    asm.addi("r21", "r21", 1)
+    asm.xori("r21", "r21", 3)
+    asm.addi("r21", "r21", 0)
+    asm.jmp(f"{label}_j")
+    asm.label(f"{label}_t")
+    # taken side: branch lands here; 4 ALU = 4 retired.
+    asm.addi("r21", "r21", 2)
+    asm.xori("r21", "r21", 5)
+    asm.addi("r21", "r21", 1)
+    asm.addi("r21", "r21", 0)
+    asm.label(f"{label}_j")
+
+
+def emit_strided_walk_setup(asm: Asm, pad_base: int) -> None:
+    """Prologue for the pad walk: base and offset registers."""
+    asm.movi("r18", pad_base)
+    asm.movi("r17", 0)
+
+
+def emit_strided_walk(asm: Asm, num_loads: int) -> None:
+    """``num_loads`` cache-hot loads off a wrapped strided offset.
+
+    The offset advances by one word per loop iteration and wraps inside
+    the pad array, so the walk is a textbook stride that stays resident
+    after the first lap — the loads raise the dynamic load fraction
+    without perturbing chase depth, MLP, or the working set.
+    """
+    asm.addi("r17", "r17", 8)
+    asm.andi("r17", "r17", PAD_WORDS * 8 - 1)
+    for _ in range(num_loads):
+        asm.load_idx("r19", "r18", "r17", 0)
+
+
+def emit_pad_alu(asm: Asm, num_ops: int) -> None:
+    """``num_ops`` independent accumulator ALU ops (lowers load fraction)."""
+    for _ in range(num_ops):
+        asm.addi("r22", "r22", 1)
+
+
+def build_pad_array(memory: dict[int, int], base: int) -> None:
+    for word in range(PAD_WORDS):
+        memory[(base + 8 * word) >> 3] = word + 1

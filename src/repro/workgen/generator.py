@@ -1,0 +1,213 @@
+"""Compile a :class:`~repro.workgen.spec.WorkloadSpec` into a Workload.
+
+The generated program is one outer loop whose straight-line body is
+assembled from the block library (:mod:`repro.workgen.blocks`):
+
+* ``mlp`` independent pointer-chase streams, each advancing
+  ``pointer_chase_depth`` dependent hops per iteration through its own
+  full-cycle index-linked region (``working_set_kib`` split across
+  streams), with every hop's address computed through a
+  ``slice_length``-op ALU slice;
+* one entropy-controlled branch hammock fed by the current node's
+  payload bit;
+* a strided pad walk or an ALU pad chain, sized to land the dynamic
+  ``load_fraction`` on target.
+
+Determinism contract (docs/WORKGEN.md): program *structure* is a pure
+function of (spec, scale) — ``variant`` and the generator seed only steer
+data placement through :func:`repro.workloads.base.variant_seed`-derived
+RNG streams. Train and ref variants therefore share opcode-identical
+programs (the FDO flow's train→ref transfer requirement), and the same
+(spec, seed, variant, scale) rebuilds a byte-identical workload in every
+process — the property the content-addressed cell cache keys rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+
+from ..isa.assembler import Asm
+from ..workloads.base import HEAP, HEAP3, Workload, scaled, variant_seed
+from .blocks import (
+    NODE_STRIDE,
+    PAD_LINES,
+    ChaseStream,
+    build_pad_array,
+    emit_branch_hammock,
+    emit_pad_alu,
+    emit_strided_walk,
+    emit_strided_walk_setup,
+)
+from .spec import (
+    WorkloadSpec,
+    WorkloadSpecError,
+    entropy_to_prob,
+    parse_name,
+)
+
+#: Iteration floor: enough hammock outcomes for the empirical entropy to
+#: converge (binomial noise stays inside the ±0.12 tolerance).
+MIN_ITERATIONS = 256
+
+#: Caps on the load-fraction padding; a spec that needs more is refusing
+#: to coexist with its other knobs and is rejected with the math shown.
+MAX_PAD_LOADS = 512
+MAX_PAD_ALU = 4096
+
+
+def plan_shape(spec: WorkloadSpec, scale: float = 1.0) -> dict:
+    """Resolve a spec into concrete block parameters (pure, no RNG).
+
+    Everything the emitted program's structure depends on is computed
+    here, so tests (and the docs) can reason about the shape without
+    building memory images.
+    """
+    depth, mlp, slice_length = (
+        spec.pointer_chase_depth, spec.mlp, spec.slice_length,
+    )
+    # Per-iteration instruction budget before load-fraction padding:
+    # chase hops (slice + load each), the hammock (payload load + andi +
+    # 4 outcome-independent ops), and the loop increment + backedge.
+    loads = mlp * depth + 1
+    others = mlp * depth * slice_length + 5 + 2
+    f = spec.load_fraction
+    pad_loads = 0
+    pad_alu = 0
+    if f * (loads + others) > loads:
+        # Raise the fraction: x extra loads plus the 2-op stride advance.
+        pad_loads = math.ceil((f * (loads + others + 2) - loads) / (1.0 - f))
+        if pad_loads > MAX_PAD_LOADS:
+            raise WorkloadSpecError(
+                f"load_fraction={f} needs {pad_loads} pad loads/iteration "
+                f"(> {MAX_PAD_LOADS}) against this chase/slice mix; lower "
+                "load_fraction or slice_length"
+            )
+    else:
+        pad_alu = max(0, round(loads / f - loads - others))
+        if pad_alu > MAX_PAD_ALU:
+            raise WorkloadSpecError(
+                f"load_fraction={f} needs {pad_alu} pad ALU ops/iteration "
+                f"(> {MAX_PAD_ALU}); raise load_fraction"
+            )
+    total_lines = spec.working_set_kib * 16 - (PAD_LINES if pad_loads else 0)
+    slots_per_stream = total_lines // mlp
+    iterations = scaled(
+        max(math.ceil(slots_per_stream / depth), MIN_ITERATIONS), scale
+    )
+    region = -(-slots_per_stream * NODE_STRIDE // 0x10000) * 0x10000
+    per_iteration = (
+        loads + others + pad_alu + (2 + pad_loads if pad_loads else 0)
+    )
+    if max(math.ceil(slots_per_stream / depth), MIN_ITERATIONS) * per_iteration > 4_500_000:
+        raise WorkloadSpecError(
+            f"spec needs ~{per_iteration} insts/iteration over "
+            f"{slots_per_stream // depth}+ iterations — beyond the emulator's "
+            "dynamic budget; shrink working_set_kib or the padding-heavy knobs"
+        )
+    return {
+        "slots_per_stream": slots_per_stream,
+        "iterations": iterations,
+        "pad_loads": pad_loads,
+        "pad_alu": pad_alu,
+        "region_bytes": region,
+        "taken_prob": entropy_to_prob(spec.branch_entropy),
+    }
+
+
+def _data_rng(variant: str, gen_seed: int, salt: int) -> random.Random:
+    """Deterministic data-placement stream: variant × generator seed × salt."""
+    return random.Random(
+        variant_seed(variant) * 1_000_003 + gen_seed * 7919 + salt
+    )
+
+
+def build_generated(name: str, variant: str = "ref", scale: float = 1.0) -> Workload:
+    """Build the Workload a canonical ``gen:`` name describes."""
+    spec, gen_seed = parse_name(name)
+    shape = plan_shape(spec, scale)
+
+    streams = [
+        ChaseStream(
+            index=s,
+            base=HEAP + s * shape["region_bytes"],
+            num_slots=shape["slots_per_stream"],
+        )
+        for s in range(spec.mlp)
+    ]
+
+    memory: dict[int, int] = {}
+    starts = []
+    for stream in streams:
+        starts.append(
+            stream.build_memory(
+                memory,
+                _data_rng(variant, gen_seed, 101 + stream.index),
+                payload_bits=(
+                    _data_rng(variant, gen_seed, 701) if stream.index == 0 else None
+                ),
+                taken_prob=shape["taken_prob"],
+            )
+        )
+    if shape["pad_loads"]:
+        build_pad_array(memory, HEAP3)
+
+    asm = Asm()
+    for stream, start in zip(streams, starts):
+        asm.movi(stream.idx_reg, start)
+    asm.movi("r21", 0)            # hammock accumulator
+    asm.movi("r22", 0)            # pad-ALU accumulator
+    asm.movi("r23", 0)            # loop counter
+    asm.movi("r24", shape["iterations"])
+    if shape["pad_loads"]:
+        emit_strided_walk_setup(asm, HEAP3)
+
+    asm.label("loop")
+    for stream in streams:
+        for _ in range(spec.pointer_chase_depth):
+            stream.emit_hop(asm, spec.slice_length)
+    emit_branch_hammock(asm, streams[0].addr_reg, "ham")
+    if shape["pad_loads"]:
+        emit_strided_walk(asm, shape["pad_loads"])
+    if shape["pad_alu"]:
+        emit_pad_alu(asm, shape["pad_alu"])
+    asm.addi("r23", "r23", 1)
+    asm.blt("r23", "r24", "loop")
+    asm.halt()
+
+    return Workload(
+        name=name,
+        program=asm.build(),
+        memory=memory,
+        regs={},
+        category="generated",
+        variant=variant,
+        description=f"generated workload ({name})",
+        character=(
+            f"{spec.mlp} chase stream(s) x depth {spec.pointer_chase_depth}, "
+            f"{spec.slice_length}-op address slices, H={spec.branch_entropy:.2f} "
+            f"hammock, {spec.working_set_kib} KiB working set, "
+            f"{spec.load_fraction:.2f} load fraction"
+        ),
+    )
+
+
+def program_digest(program) -> str:
+    """Stable content hash of a program's full listing."""
+    return hashlib.sha256(program.disassemble().encode("utf-8")).hexdigest()
+
+
+def workload_digest(workload: Workload) -> str:
+    """Stable content hash of program + memory image + initial registers.
+
+    Two builds of the same (spec, seed, variant, scale) must agree on this
+    digest byte-for-byte — the determinism acceptance check.
+    """
+    h = hashlib.sha256()
+    h.update(workload.program.disassemble().encode("utf-8"))
+    for word in sorted(workload.memory):
+        h.update(f"{word}:{workload.memory[word]};".encode("ascii"))
+    for reg in sorted(workload.regs):
+        h.update(f"r{reg}={workload.regs[reg]};".encode("ascii"))
+    return h.hexdigest()

@@ -1,0 +1,148 @@
+"""The ``property_grid`` experiment: knob sweeps vs the prefetcher zoo.
+
+One registered matrix :class:`~repro.orchestrate.Experiment` whose targets
+are *generated* workloads: a base :class:`WorkloadSpec` with one knob swept
+over a value grid, each point a canonical ``gen:`` name. Instances cross
+the simulation modes (ooo/crisp/ibda-*) with optional hardware-prefetcher
+sets, so one run answers "how does critical-slice prefetching rank against
+stride/stream/BOP/GHB as workload character varies?" — the coverage style
+the server-prefetching survey argues for (PAPERS.md).
+
+Everything downstream is the ordinary orchestration machinery: cells pool,
+cache (keys carry the generator version), sample, run on either engine,
+resume from identity-checked run directories, and lower through the job
+server's ``experiment`` op.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..memory.hierarchy import HierarchyConfig
+from ..orchestrate.experiment import Experiment, register
+from ..orchestrate.instance import Instance
+from ..orchestrate.target import Target
+from ..uarch.config import CoreConfig
+from .spec import (
+    KNOBS,
+    WorkloadSpec,
+    WorkloadSpecError,
+    encode_name,
+    is_generated,
+    parse_name,
+)
+
+#: Named hardware-prefetcher sets instances can pin (the zoo).
+PREFETCHER_SETS = {
+    "none": (),
+    "stride": ("stride",),
+    "stream": ("stream",),
+    "ghb": ("ghb",),
+    "bop": ("bop",),
+    "bop+stream": ("bop", "stream"),
+}
+
+DEFAULT_VALUES = (2, 4, 8)
+
+
+@register
+class PropertyGrid(Experiment):
+    """Sweep one WorkloadSpec knob; race modes (x prefetcher sets) on it."""
+
+    name = "property_grid"
+    title = "Property grid: generated-workload knob sweep vs the prefetcher zoo"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        workloads: list[str] | None = None,
+        seeds: int = 1,
+        knob: str = "pointer_chase_depth",
+        values: tuple = DEFAULT_VALUES,
+        modes: tuple = ("ooo", "crisp"),
+        prefetchers: tuple | None = None,
+        gen_seed: int = 0,
+        base: dict | None = None,
+    ):
+        if knob not in KNOBS:
+            raise WorkloadSpecError(f"unknown knob {knob!r}; knobs: {list(KNOBS)}")
+        for pf in prefetchers or ():
+            if pf not in PREFETCHER_SETS:
+                raise ValueError(
+                    f"unknown prefetcher set {pf!r}; known: {sorted(PREFETCHER_SETS)}"
+                )
+        self.knob = knob
+        self.values = tuple(values)
+        self.modes = tuple(modes)
+        self.prefetchers = tuple(prefetchers) if prefetchers else None
+        self.gen_seed = gen_seed
+        self.base = dict(base) if base else None
+        super().__init__(scale=scale, workloads=workloads, seeds=seeds)
+        for name in self.workloads:
+            if is_generated(name):
+                parse_name(name)  # fail fast on non-canonical spellings
+
+    def defaults(self) -> list[str]:
+        base = WorkloadSpec(**(self.base or {}))
+        return [
+            encode_name(dataclasses.replace(base, **{self.knob: value}), self.gen_seed)
+            for value in self.values
+        ]
+
+    def args(self) -> dict:
+        args = super().args()
+        args.update(
+            knob=self.knob,
+            values=list(self.values),
+            modes=list(self.modes),
+            prefetchers=list(self.prefetchers) if self.prefetchers else None,
+            gen_seed=self.gen_seed,
+            base=self.base,
+        )
+        return args
+
+    def instances(self, target: Target) -> list[Instance]:
+        out = []
+        for pf in self.prefetchers or (None,):
+            if pf is None:
+                config, suffix = None, ""
+            else:
+                config = CoreConfig.skylake(
+                    hierarchy=HierarchyConfig(prefetchers=PREFETCHER_SETS[pf])
+                )
+                suffix = f"@{pf}"
+            for mode in self.modes:
+                out.append(Instance(name=f"{mode}{suffix}", mode=mode, config=config))
+        return out
+
+    def _row_label(self, workload: str) -> str:
+        """``gen:...`` is unwieldy as a row label; show the swept knob."""
+        try:
+            spec, gen_seed = parse_name(workload)
+        except WorkloadSpecError:
+            return workload
+        label = f"{self.knob}={getattr(spec, self.knob)}"
+        return label if gen_seed == self.gen_seed else f"{label}#{gen_seed}"
+
+    def table(self, plan, results):
+        from ..experiments.common import ExperimentResult
+
+        cells = self.results_map(plan, results)
+        names = self.instance_names()
+        result = ExperimentResult(
+            experiment=self.name,
+            title=self.title,
+            headers=[self.knob] + [f"{n} IPC" for n in names],
+        )
+        for workload in self.workloads:
+            result.add_row(
+                self._row_label(workload),
+                *[self.ipc(cells, workload, name) for name in names],
+            )
+        result.notes.append(
+            "rows are generated workloads (docs/WORKGEN.md): the base spec "
+            f"with {self.knob} swept; full gen: names in the run manifest"
+        )
+        if self.seeds > 1:
+            result.notes.append(f"median over {self.seeds} seed replicas per cell")
+        return result

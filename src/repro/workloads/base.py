@@ -123,6 +123,15 @@ class WorkloadRegistry:
         )
 
     def build(self, name: str, variant: str = "ref", scale: float = 1.0) -> Workload:
+        if name.startswith("gen:"):
+            # Generated workloads (docs/WORKGEN.md): the name is a canonical
+            # WorkloadSpec + generator seed, so pool workers rebuild them
+            # exactly like named analogues. Imported lazily — workgen layers
+            # on top of this module.
+            from ..workgen.generator import build_generated
+
+            split_variant(variant)
+            return build_generated(name, variant=variant, scale=scale)
         try:
             category, builder, _ = self._builders[name]
         except KeyError:

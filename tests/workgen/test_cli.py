@@ -1,0 +1,55 @@
+"""python -m repro.workgen: emit / measure / grid front door."""
+
+from __future__ import annotations
+
+import json
+
+from repro.workgen.__main__ import main
+
+DEFAULT = "gen:pcd4,mlp2,ent0.50,ws256,sl3,lf0.30#0"
+
+
+def test_emit_is_deterministic(capsys):
+    assert main(["emit", DEFAULT, "--json"]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert main(["emit", DEFAULT, "--json"]) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert first == second
+    assert first["static_insts"] > 0
+    assert len(first["workload_digest"]) == 64
+
+
+def test_emit_disasm_lists_the_program(capsys):
+    assert main(["emit", DEFAULT, "--disasm"]) == 0
+    listing = capsys.readouterr().out
+    assert "load" in listing
+    assert "halt" in listing
+
+
+def test_measure_passes_on_canonical_default(capsys):
+    assert main(["measure", DEFAULT, "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is True
+    assert set(report["requested"]) == set(report["measured"])
+
+
+def test_measure_fails_at_partial_scale(capsys):
+    # Half the iterations cover half the working set: the verifier must
+    # flag it and the CLI must exit non-zero.
+    assert main(["measure", DEFAULT, "--scale", "0.25"]) == 1
+
+
+def test_bad_name_is_a_clean_error(capsys):
+    assert main(["emit", "gen:bogus#0"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_grid_runs_one_cell_inline(capsys):
+    rc = main([
+        "grid", "--knob", "pointer_chase_depth", "--values", "4",
+        "--modes", "ooo", "--scale", "0.5", "--no-cache",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pointer_chase_depth=4" in out
+    assert "ooo IPC" in out

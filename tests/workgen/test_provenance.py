@@ -1,0 +1,137 @@
+"""Generator provenance: cell keys, manifests, resume identity, serve.
+
+The bugfix satellite's regression lives here: an orchestrate run whose
+targets are generated workloads records the generator version in its
+manifest, and ``--resume``/``report`` refuse (``RunIdentityError``) to mix
+cells produced by different generator revisions.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.orchestrate import RunIdentityError, execute_run, report_run
+from repro.orchestrate.rundir import load_manifest, manifest_path
+from repro.orchestrate.target import Target
+from repro.parallel.cellkey import CellSpec, cell_key, cell_payload
+from repro.workgen.grid import PropertyGrid
+from repro.workgen.spec import GENERATOR_VERSION
+
+DEFAULT = "gen:pcd4,mlp2,ent0.50,ws256,sl3,lf0.30#0"
+
+
+def tiny_grid(**kw):
+    kw.setdefault("scale", 0.25)
+    kw.setdefault("values", (4,))
+    kw.setdefault("modes", ("ooo",))
+    return PropertyGrid(**kw)
+
+
+# -- cell keys -----------------------------------------------------------------
+
+
+def test_gen_cell_payload_carries_generator_version():
+    payload = cell_payload(CellSpec(workload=DEFAULT, mode="ooo"))
+    assert payload["generator"] == {"version": GENERATOR_VERSION}
+
+
+def test_named_cell_payload_is_untouched():
+    payload = cell_payload(CellSpec(workload="mcf", mode="ooo"))
+    assert "generator" not in payload
+
+
+def test_generator_version_is_key_material(monkeypatch):
+    spec = CellSpec(workload=DEFAULT, mode="ooo")
+    before = cell_key(spec)
+    import repro.workgen.spec as wspec
+
+    monkeypatch.setattr(wspec, "GENERATOR_VERSION", GENERATOR_VERSION + 1)
+    assert cell_key(spec) != before
+
+
+# -- target / manifest provenance ----------------------------------------------
+
+
+def test_gen_target_describes_its_spec():
+    entry = Target(DEFAULT, "ref").describe()
+    assert entry["generator"]["version"] == GENERATOR_VERSION
+    assert entry["generator"]["seed"] == 0
+    assert entry["generator"]["spec"]["pointer_chase_depth"] == 4
+    assert "generator" not in Target("mcf", "ref").describe()
+
+
+def test_manifest_records_target_identity(tmp_path):
+    summary = execute_run(tiny_grid(), out=tmp_path / "runs")
+    assert summary["failed"] == 0
+    manifest = load_manifest(summary["run_dir"])
+    assert manifest["instance"]["target_identity"] == {
+        "generator_version": GENERATOR_VERSION,
+        "generated_targets": 1,
+    }
+    assert manifest["targets"][0]["generator"]["spec"]["mlp"] == 2
+
+
+def test_named_experiment_manifest_has_null_target_identity(tmp_path):
+    from repro.orchestrate.experiment import SuiteMatrix
+
+    experiment = SuiteMatrix(
+        scale=0.05, workloads=["pointer_chase"], modes=("ooo",)
+    )
+    summary = execute_run(experiment, out=tmp_path / "runs")
+    manifest = load_manifest(summary["run_dir"])
+    assert manifest["instance"]["target_identity"] is None
+
+
+def test_resume_refuses_a_different_generator_version(tmp_path):
+    summary = execute_run(tiny_grid(), out=tmp_path / "runs")
+    run_dir = summary["run_dir"]
+    path = manifest_path(run_dir)
+    manifest = json.loads(path.read_text())
+    manifest["instance"]["target_identity"]["generator_version"] += 1
+    path.write_text(json.dumps(manifest))
+
+    with pytest.raises(RunIdentityError, match="target_identity"):
+        execute_run(tiny_grid(), run_dir=run_dir, resume=True)
+    with pytest.raises(RunIdentityError, match="target_identity"):
+        report_run(run_dir)
+
+
+def test_resume_with_matching_identity_serves_stored_cells(tmp_path):
+    first = execute_run(tiny_grid(), out=tmp_path / "runs")
+    resumed = execute_run(
+        tiny_grid(), run_dir=first["run_dir"], resume=True
+    )
+    assert resumed["failed"] == 0
+    assert resumed["figure"].rows == first["figure"].rows
+
+
+# -- the job server's protocol edge --------------------------------------------
+
+
+def test_serve_accepts_canonical_gen_cells():
+    from repro.serve.protocol import parse_cell
+
+    spec = parse_cell({"workload": DEFAULT, "mode": "ooo", "scale": 0.5})
+    assert spec.workload == DEFAULT
+
+
+def test_serve_rejects_malformed_gen_cells():
+    from repro.serve.protocol import ProtocolError, parse_cell
+
+    with pytest.raises(ProtocolError):
+        parse_cell({"workload": "gen:bogus#0", "mode": "ooo"})
+    with pytest.raises(ProtocolError):  # non-canonical spelling
+        parse_cell({"workload": "gen:mlp2,pcd4,ent0.50,ws256,sl3,lf0.30#0",
+                    "mode": "ooo"})
+
+
+def test_serve_accepts_property_grid_experiments():
+    from repro.serve.protocol import parse_experiment
+
+    name, kwargs, engine, priority = parse_experiment(
+        {"experiment": "property_grid", "scale": 0.5}
+    )
+    assert name == "property_grid"
+    assert kwargs["scale"] == 0.5

@@ -1,0 +1,99 @@
+"""WorkloadSpec: validation, canonical names, tolerances."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.workgen.spec import (
+    KNOBS,
+    TOLERANCES,
+    WorkloadSpec,
+    WorkloadSpecError,
+    binary_entropy,
+    encode_name,
+    entropy_to_prob,
+    is_generated,
+    parse_name,
+    spec_fields,
+    tolerance_text,
+    within_tolerance,
+)
+
+
+def test_knob_metadata_covers_spec_fields_in_order():
+    assert list(KNOBS) == spec_fields()
+    assert set(TOLERANCES) == set(KNOBS)
+
+
+def test_default_name_round_trips():
+    spec = WorkloadSpec()
+    name = encode_name(spec, 0)
+    assert name == "gen:pcd4,mlp2,ent0.50,ws256,sl3,lf0.30#0"
+    assert is_generated(name)
+    parsed, seed = parse_name(name)
+    assert parsed == spec
+    assert seed == 0
+
+
+@pytest.mark.parametrize("overrides,seed", [
+    ({"pointer_chase_depth": 16, "mlp": 4, "working_set_kib": 1024}, 3),
+    ({"branch_entropy": 0.0, "load_fraction": 0.05}, 0),
+    ({"branch_entropy": 1.0, "slice_length": 16}, 17),
+])
+def test_round_trip_across_knob_space(overrides, seed):
+    spec = dataclasses.replace(WorkloadSpec(), **overrides)
+    parsed, parsed_seed = parse_name(encode_name(spec, seed))
+    assert parsed == spec
+    assert parsed_seed == seed
+
+
+@pytest.mark.parametrize("name", [
+    "gen:pcd4,mlp2,ent0.5,ws256,sl3,lf0.30#0",     # float not 2-decimal
+    "gen:mlp2,pcd4,ent0.50,ws256,sl3,lf0.30#0",    # reordered
+    "gen:pcd04,mlp2,ent0.50,ws256,sl3,lf0.30#0",   # zero-padded int
+    "gen:pcd4,mlp2,ent0.50,ws256,sl3,lf0.30",      # missing seed
+    "gen:pcd4,mlp2,ent0.50,ws256,sl3,lf0.30#-1",   # negative seed
+    "gen:pcd4,pcd4,mlp2,ent0.50,ws256,sl3,lf0.30#0",  # duplicate knob
+    "gen:pcd4,mlp2,ent0.50,ws256,sl3#0",           # missing knob
+    "gen:zzz9,mlp2,ent0.50,ws256,sl3,lf0.30#0",    # unknown knob
+    "mcf",                                          # not generated at all
+])
+def test_non_canonical_names_rejected(name):
+    with pytest.raises(WorkloadSpecError):
+        parse_name(name)
+
+
+@pytest.mark.parametrize("overrides", [
+    {"pointer_chase_depth": 0},
+    {"pointer_chase_depth": 65},
+    {"mlp": 9},
+    {"branch_entropy": 1.5},
+    {"working_set_kib": 16},
+    {"working_set_kib": 9000},
+    {"working_set_kib": 64, "mlp": 8},  # cycle below the recency window
+    {"slice_length": 1},
+    {"load_fraction": 0.9},
+])
+def test_invalid_knob_values_rejected(overrides):
+    with pytest.raises(WorkloadSpecError):
+        dataclasses.replace(WorkloadSpec(), **overrides)
+
+
+def test_tolerance_semantics():
+    assert within_tolerance("pointer_chase_depth", 4, 5)
+    assert not within_tolerance("pointer_chase_depth", 4, 6)
+    # working_set has a relative component: 256 +- (4 + 38.4)
+    assert within_tolerance("working_set_kib", 256, 294)
+    assert not within_tolerance("working_set_kib", 256, 300)
+    assert tolerance_text("pointer_chase_depth") == "±1"
+    assert tolerance_text("working_set_kib") == "±4 + ±15%"
+    assert tolerance_text("branch_entropy") == "±0.12"
+
+
+def test_entropy_inversion():
+    for entropy in (0.0, 0.25, 0.5, 0.8, 1.0):
+        p = entropy_to_prob(entropy)
+        assert 0.0 <= p <= 0.5
+        assert binary_entropy(p) == pytest.approx(entropy, abs=1e-9)

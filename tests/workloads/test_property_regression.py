@@ -1,0 +1,63 @@
+"""Property regression: named analogues keep their paper character.
+
+docs/WORKLOADS.md attributes a memory/branch character to each synthetic
+analogue. The workgen verifier (repro.workgen.verify) measures those
+properties directly from the emulator trace, so the attribution becomes a
+regression test: a refactor of a kernel that silently flattens mcf's
+pointer chase, hpcg's MLP, or memcached's branch entropy fails here, not
+in a downstream IPC table.
+
+Thresholds are deliberately loose — they pin the *character* (which knob
+dominates), not exact values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workgen.verify import measure_name
+
+
+@pytest.fixture(scope="module")
+def measured():
+    scales = {"mcf": 0.5, "xhpcg": 0.5, "memcached": 0.5, "div_chain": 1.0}
+    return {
+        name: measure_name(name, "ref", scale) for name, scale in scales.items()
+    }
+
+
+def test_mcf_is_a_load_bound_pointer_chase(measured):
+    m = measured["mcf"].knob_values()
+    # Serial arc-walk: dependent miss chains, load-dominated, predictable
+    # loop branches.
+    assert m["pointer_chase_depth"] >= 1
+    assert m["load_fraction"] > 0.5
+    assert m["branch_entropy"] < 0.2
+
+
+def test_xhpcg_is_high_mlp_strided(measured):
+    m = measured["xhpcg"].knob_values()
+    # SpMV row sweep: several independent access streams in flight with
+    # real address arithmetic between them, branches predictable.
+    assert m["mlp"] >= 3
+    assert m["mlp"] > measured["mcf"].knob_values()["mlp"]
+    assert m["slice_length"] >= 2.5
+    assert m["branch_entropy"] < 0.2
+
+
+def test_memcached_is_branchy_datacenter_code(measured):
+    m = measured["memcached"].knob_values()
+    # Hash-bucket probing: data-dependent branching dominates; little
+    # memory-level parallelism on the lookup path.
+    assert m["branch_entropy"] > 0.6
+    assert m["branch_entropy"] > measured["mcf"].knob_values()["branch_entropy"]
+    assert m["mlp"] <= 2
+
+
+def test_div_chain_is_compute_bound(measured):
+    m = measured["div_chain"].knob_values()
+    # Serial integer-division recurrence (§6.1): no pointer chasing, a
+    # tiny resident footprint, instruction mix not load-dominated.
+    assert m["pointer_chase_depth"] == 0
+    assert m["working_set_kib"] < 1
+    assert m["load_fraction"] < 0.55
