@@ -30,6 +30,12 @@ A fourth section benchmarks a *generated* workload (docs/WORKGEN.md): one
 ``gen:`` cell run cold then warm against its own cache, recording the
 compile (name -> program) cost and proving generated cells cache like any
 named workload.
+
+A fifth section benchmarks a *co-run* cell (docs/MULTICORE.md): one
+2-core mix lowered to a single cell, run cold then warm against its own
+cache, recording wall-clock, the warm cache hit, and the per-core IPCs —
+proving an N-core co-run is an ordinary cacheable citizen of the
+parallel layer.
 """
 
 from __future__ import annotations
@@ -215,6 +221,52 @@ def bench_generated(gen_name: str, scale: float, work_dir) -> dict:
     }
 
 
+def bench_multicore(mix: str, scale: float, work_dir) -> dict:
+    """One 2-core co-run cell (docs/MULTICORE.md), cold vs warm.
+
+    The co-run path adds the shared LLC/DRAM arbitration in front of the
+    per-core pipelines; this section proves the composite cell keys are
+    stable (warm pass answers from the cache) and records the per-core
+    IPC split under contention.
+    """
+    from repro.multicore import corun_cell, corun_extra, parse_mix
+    from repro.parallel import ResultCache, run_cells
+
+    spec = corun_cell(parse_mix(mix), scale=scale)
+    cache = ResultCache(str(pathlib.Path(work_dir) / "multicore_cache"))
+    start = time.perf_counter()
+    cold = run_cells([spec], cache=cache)[0]
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = run_cells([spec], cache=cache)[0]
+    warm_s = time.perf_counter() - start
+    if not warm.from_cache:
+        raise SystemExit(f"warm co-run cell missed the cache: {mix}")
+    if warm.ipc != cold.ipc:
+        raise SystemExit(f"warm co-run cell diverged: {warm.ipc} != {cold.ipc}")
+    extra = corun_extra(cold)
+    multicore = extra["multicore"]
+    core_ipcs = [
+        round(core["retired"] / core["cycles"], 4) if core["cycles"] else 0.0
+        for core in extra["per_core"]
+    ]
+    return {
+        "mix": mix,
+        "scale": scale,
+        "ncores": multicore["ncores"],
+        "cold_wall_s": round(cold_s, 3),
+        "warm_wall_s": round(warm_s, 3),
+        "warm_from_cache": True,
+        "aggregate_ipc": round(cold.ipc, 4),
+        "core_ipcs": core_ipcs,
+        "llc_hits": multicore["llc_hits"],
+        "llc_accesses": multicore["llc_accesses"],
+        "dram_requests": multicore["dram_requests"],
+        "dram_bus_stall_cycles": multicore["dram_bus_stall_cycles"],
+        "pool_peak_occupancy": multicore["pool_peak_occupancy"],
+    }
+
+
 #: The CI smoke slice of the engine race: one fast cell, ooo only.
 SMOKE_WORKLOADS = ("deepsjeng",)
 SMOKE_MODES = ("ooo",)
@@ -296,6 +348,14 @@ def main(argv=None) -> int:
         help="scale for the generated-workload section",
     )
     parser.add_argument(
+        "--corun-mix", default="pointer_chase+img_dnn", metavar="MIX",
+        help="2-core mix for the co-run section (docs/MULTICORE.md)",
+    )
+    parser.add_argument(
+        "--corun-scale", type=float, default=0.3,
+        help="scale for the co-run section",
+    )
+    parser.add_argument(
         "--no-doc-rewrite", action="store_true",
         help="skip regenerating the docs/ENGINE.md comparison table",
     )
@@ -341,6 +401,7 @@ def main(argv=None) -> int:
             args.sample_workload, args.sample_scale, args.sample
         ),
         "generated": bench_generated(args.gen_spec, args.gen_scale, work_dir),
+        "multicore": bench_multicore(args.corun_mix, args.corun_scale, work_dir),
         "engines": bench_engines(
             args.engine_workloads.split(","),
             args.engine_modes.split(","),

@@ -73,9 +73,10 @@ def render_table() -> str:
         "parallel": "Parallel execution (result cache, process pool)",
         "sampling": "Sampled simulation (intervals, warmup, estimator)",
         "serve": "Job server (admission, coalescing, supervision, drain)",
+        "multicore": "Multicore co-run (shared LLC, DRAM contention, MSHR pool)",
     }
     for group in ("core", "frontend", "uarch", "memory", "parallel",
-                  "sampling", "serve"):
+                  "sampling", "serve", "multicore"):
         metrics = groups.pop(group, [])
         if not metrics:
             continue

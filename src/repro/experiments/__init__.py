@@ -11,6 +11,7 @@ from . import (
     ablation_prefetchers,
     ablation_ratio,
     ablation_sampling,
+    corun_interference,
     discussion_division,
     discussion_smt,
     fig1_upc_timeline,
@@ -44,6 +45,8 @@ EXPERIMENTS = {
     "ablation_sampling": ablation_sampling,
     "discussion_smt": discussion_smt,
     "discussion_division": discussion_division,
+    # Multicore co-run headline (docs/MULTICORE.md).
+    "corun_interference": corun_interference,
 }
 
 __all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment"]

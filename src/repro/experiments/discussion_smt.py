@@ -11,64 +11,128 @@ that actually contends for the resources the mechanism touches:
   L1-hitting loads keep the two load ports saturated): tagging all attacker
   instructions slows the victim; reserving issue slots for non-critical
   instructions (the paper's proposed mitigation) restores it.
+
+Ported to a declarative :class:`~repro.orchestrate.Experiment`: each row
+is one SMT cell (:class:`~repro.multicore.smt.SmtCellSpec`) with its
+annotations pinned at plan time — the victim's CRISP PCs from the FDO
+flow, the attacker's everything-tagged set from its program length — so
+every row is an ordinary cacheable cell on the pool; ``run()`` stays as
+the bit-identical shim.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..core.fdo import run_crisp_flow
-from ..uarch.config import CoreConfig
-from ..uarch.smt import SmtPipeline
+from ..multicore.smt import SMT_MODE, SmtCellSpec, smt_cell
+from ..orchestrate import Experiment, Instance, register
 from ..workloads import get_workload
 from .common import ExperimentResult
 
+VICTIM = "pointer_chase"
+
+
+@dataclass
+class SmtInstance(Instance):
+    """An Instance whose cell is a two-thread SMT run."""
+
+    smt: SmtCellSpec = None  # type: ignore[assignment]
+
+    def spec(self, target, scale: float = 1.0):
+        smt = self.smt
+        if target.variant != "ref":
+            # Seed replicas vary both threads' inputs together.
+            smt = SmtCellSpec(
+                workloads=smt.workloads,
+                variants=(target.variant, target.variant),
+                priority=smt.priority,
+                critical_pcs=smt.critical_pcs,
+                fair_slots=smt.fair_slots,
+            )
+        return smt_cell(smt, scale=scale, config=self.config)
+
+    def describe(self) -> dict:
+        entry = super().describe()
+        entry["smt"] = self.smt.to_payload()
+        return entry
+
+
+@register
+class DiscussionSmt(Experiment):
+    """SMT criticality rows (SLO + DoS) as one-cell-per-row matrix."""
+
+    name = "discussion_smt"
+    title = "Section 6.2: SMT criticality (SLO enforcement and DoS)"
+    default_workloads = (VICTIM,)
+
+    def __init__(self, scale: float = 0.4, workloads: list[str] | None = None,
+                 seeds: int = 1):
+        super().__init__(scale=scale, workloads=workloads, seeds=seeds)
+        self._victim_pcs: tuple[int, ...] | None = None
+        self._attack_pcs: tuple[int, ...] | None = None
+
+    def _slo_annotation(self) -> tuple[int, ...]:
+        """The victim's CRISP PCs, derived once at plan time (FDO train)."""
+        if self._victim_pcs is None:
+            flow = run_crisp_flow(VICTIM, scale=self.scale)
+            self._victim_pcs = tuple(sorted(flow.critical_pcs))
+        return self._victim_pcs
+
+    def _attack_annotation(self) -> tuple[int, ...]:
+        """Every PC of the attacker's program (the DoS 'tag everything')."""
+        if self._attack_pcs is None:
+            attacker = get_workload("img_dnn", "ref", self.scale)
+            self._attack_pcs = tuple(range(len(attacker.program)))
+        return self._attack_pcs
+
+    def instances(self, target) -> list[Instance]:
+        slo = ("pointer_chase", "mcf")
+        dos = ("pointer_chase", "img_dnn")
+        victim_pcs = self._slo_annotation()
+        attack_pcs = self._attack_annotation()
+        rows = (
+            ("SLO pair, fair round-robin", SmtCellSpec(slo)),
+            ("SLO pair, latency thread critical",
+             SmtCellSpec(slo, priority="thread0")),
+            ("SLO pair, latency thread CRISP-annotated",
+             SmtCellSpec(slo, critical_pcs=(victim_pcs, ()))),
+            ("DoS pair, no attack", SmtCellSpec(dos)),
+            ("DoS pair, attacker tags everything",
+             SmtCellSpec(dos, critical_pcs=((), attack_pcs))),
+            ("DoS pair, attack + fairness guard (2 slots)",
+             SmtCellSpec(dos, critical_pcs=((), attack_pcs), fair_slots=2)),
+        )
+        return [
+            SmtInstance(name=label, mode=SMT_MODE, smt=smt)
+            for label, smt in rows
+        ]
+
+    def table(self, plan, results) -> ExperimentResult:
+        cells = self.results_map(plan, results)
+        result = ExperimentResult(
+            experiment=self.name,
+            title=self.title,
+            headers=["configuration", "victim cycles", "co-runner cycles",
+                     "total IPC"],
+        )
+        for instance in self.instances(self.targets()[0]):
+            cell = cells[(VICTIM, "ref", instance.name)]
+            threads = cell.extra["smt"]["threads"]
+            result.add_row(
+                instance.name, threads[0]["cycles"], threads[1]["cycles"],
+                round(cell.ipc, 3),
+            )
+        result.notes.append(
+            "prioritisation must shorten the latency thread's completion; the "
+            "fairness guard must undo the DoS slowdown (Section 6.2)."
+        )
+        return result
+
 
 def run(scale: float = 0.4) -> ExperimentResult:
-    result = ExperimentResult(
-        experiment="discussion_smt",
-        title="Section 6.2: SMT criticality (SLO enforcement and DoS)",
-        headers=["configuration", "victim cycles", "co-runner cycles", "total IPC"],
-    )
-    victim = get_workload("pointer_chase", "ref", scale)
-    flow = run_crisp_flow("pointer_chase", scale=scale)
-
-    # -- SLO study: both threads are load-port users -------------------------
-    slo_traces = [victim.trace(), get_workload("mcf", "ref", scale).trace()]
-    for label, kwargs in (
-        ("SLO pair, fair round-robin", {}),
-        ("SLO pair, latency thread critical", {"priority": "thread0"}),
-        (
-            "SLO pair, latency thread CRISP-annotated",
-            {"critical_pcs": [flow.critical_pcs, frozenset()]},
-        ),
-    ):
-        stats = SmtPipeline(slo_traces, CoreConfig.skylake(), **kwargs).run()
-        result.add_row(
-            label, stats.threads[0].cycles, stats.threads[1].cycles,
-            round(stats.total_ipc, 3),
-        )
-
-    # -- DoS study: streaming attacker saturating the load ports -------------
-    attacker = get_workload("img_dnn", "ref", scale)
-    dos_traces = [victim.trace(), attacker.trace()]
-    attack_tags = [frozenset(), frozenset(range(len(attacker.program)))]
-    for label, kwargs in (
-        ("DoS pair, no attack", {}),
-        ("DoS pair, attacker tags everything", {"critical_pcs": attack_tags}),
-        (
-            "DoS pair, attack + fairness guard (2 slots)",
-            {"critical_pcs": attack_tags, "fair_slots": 2},
-        ),
-    ):
-        stats = SmtPipeline(dos_traces, CoreConfig.skylake(), **kwargs).run()
-        result.add_row(
-            label, stats.threads[0].cycles, stats.threads[1].cycles,
-            round(stats.total_ipc, 3),
-        )
-    result.notes.append(
-        "prioritisation must shorten the latency thread's completion; the "
-        "fairness guard must undo the DoS slowdown (Section 6.2)."
-    )
-    return result
+    """Historical entry point; now a shim over the declarative port."""
+    return DiscussionSmt(scale=scale).run_inline()
 
 
 def main() -> None:  # pragma: no cover

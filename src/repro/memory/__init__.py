@@ -4,6 +4,13 @@ from .cache import Cache, CacheStats
 from .dram import Dram, DramConfig, DramStats
 from .hierarchy import AccessResult, HierarchyConfig, MemoryHierarchy
 from .mshr import MshrFile, MshrStats
+from .shared import (
+    CORE_TAG_SHIFT,
+    LlcMshrPool,
+    SharedMemory,
+    SharedMemoryHierarchy,
+    XCorePrefetcher,
+)
 from .prefetchers import (
     BestOffsetPrefetcher,
     GhbPrefetcher,
@@ -17,6 +24,7 @@ from .prefetchers import (
 __all__ = [
     "AccessResult",
     "BestOffsetPrefetcher",
+    "CORE_TAG_SHIFT",
     "Cache",
     "CacheStats",
     "Dram",
@@ -24,12 +32,16 @@ __all__ = [
     "DramStats",
     "GhbPrefetcher",
     "HierarchyConfig",
+    "LlcMshrPool",
     "MemoryHierarchy",
     "MshrFile",
     "MshrStats",
     "NullPrefetcher",
     "Prefetcher",
+    "SharedMemory",
+    "SharedMemoryHierarchy",
     "StreamPrefetcher",
     "StridePrefetcher",
+    "XCorePrefetcher",
     "make_prefetcher",
 ]

@@ -49,6 +49,10 @@ class AccessResult:
     completion: int  # cycle the value is available
     level: str  # "l1" | "llc" | "pf" (prefetch in flight) | "mshr" | "dram"
     mlp: int  # outstanding demand misses incl. this one at issue time
+    #: Which requestor issued the access: always 0 for a private (solo)
+    #: hierarchy; the owning core id under a shared co-run hierarchy
+    #: (repro.memory.shared), so per-core hit/miss splits attribute.
+    requestor: int = 0
 
     @property
     def llc_miss(self) -> bool:
@@ -61,6 +65,9 @@ class MemoryHierarchy:
     def __init__(self, config: HierarchyConfig | None = None):
         self.config = config or HierarchyConfig()
         cfg = self.config
+        #: Requestor id stamped on every AccessResult; 0 for a private
+        #: hierarchy, the core id for a co-run view (repro.memory.shared).
+        self.requestor = 0
         self.l1i = Cache(cfg.l1i_size, cfg.l1i_assoc, cfg.line_bytes, "L1I")
         self.l1d = Cache(cfg.l1d_size, cfg.l1d_assoc, cfg.line_bytes, "L1D")
         self.llc = Cache(cfg.llc_size, cfg.llc_assoc, cfg.line_bytes, "LLC")
@@ -143,25 +150,26 @@ class MemoryHierarchy:
     def load(self, pc: int, addr: int, now: int) -> AccessResult:
         """Demand load issued at ``now``; returns data-ready time and level."""
         cfg = self.config
+        who = self.requestor
         self._advance(now)
         if self.l1d.lookup(addr):
-            return AccessResult(now + cfg.l1d_latency, "l1", self.mshr.occupancy())
+            return AccessResult(now + cfg.l1d_latency, "l1", self.mshr.occupancy(), who)
         # L1 miss: secondary miss to an outstanding line merges.
         outstanding = self.mshr.lookup(addr)
         if outstanding is not None:
             self.mshr.merge(addr)
-            return AccessResult(max(outstanding, now) + cfg.l1d_latency, "mshr", self.mshr.occupancy())
+            return AccessResult(max(outstanding, now) + cfg.l1d_latency, "mshr", self.mshr.occupancy(), who)
         line = self._line(addr)
         if line in self._pending_pf:
             # Demand access catches an in-flight prefetch.
             completion = max(self._pending_pf[line], now + cfg.llc_latency)
             self.llc.stats.prefetch_hits += 1
             self._train(pc, addr, hit=False, now=now)
-            return AccessResult(completion, "pf", self.mshr.occupancy())
+            return AccessResult(completion, "pf", self.mshr.occupancy(), who)
         if self.llc.lookup(addr):
             self.l1d.fill(addr)
             self._train(pc, addr, hit=True, now=now)
-            return AccessResult(now + cfg.llc_latency, "llc", self.mshr.occupancy())
+            return AccessResult(now + cfg.llc_latency, "llc", self.mshr.occupancy(), who)
         # Full miss to DRAM; wait for an MSHR if the file is full.
         start = now
         while self.mshr.full:
@@ -170,12 +178,22 @@ class MemoryHierarchy:
             self.mshr.note_full_stall()
             start = max(start, earliest)
             self._advance(start)
-        completion = self.dram.request(addr, start + cfg.llc_latency)
+        completion = self._dram_demand(addr, start + cfg.llc_latency)
         self.mshr.allocate(addr, completion)
         if completion < self._next_fill:
             self._next_fill = completion
         self._train(pc, addr, hit=False, now=now)
-        return AccessResult(completion, "dram", self.mshr.occupancy())
+        return AccessResult(completion, "dram", self.mshr.occupancy(), who)
+
+    def _dram_demand(self, addr: int, now: int) -> int:
+        """DRAM request for a demand-load LLC miss.
+
+        Indirection point for the shared co-run memory
+        (:class:`repro.memory.shared.SharedMemoryHierarchy` trains the
+        cross-core LLC prefetcher and catches its in-flight lines here);
+        the private hierarchy goes straight to DRAM.
+        """
+        return self.dram.request(addr, now)
 
     def software_prefetch(self, pc: int, addr: int, now: int) -> None:
         """Non-binding prefetch (the PREFETCH opcode of Section 3.1)."""
@@ -187,9 +205,10 @@ class MemoryHierarchy:
     def store(self, pc: int, addr: int, now: int) -> AccessResult:
         """Demand store. Write-allocate; the pipeline does not block on it."""
         cfg = self.config
+        who = self.requestor
         self._advance(now)
         if self.l1d.lookup(addr):
-            return AccessResult(now + cfg.l1d_latency, "l1", self.mshr.occupancy())
+            return AccessResult(now + cfg.l1d_latency, "l1", self.mshr.occupancy(), who)
         level = "llc"
         if not self.llc.lookup(addr):
             level = "dram"
@@ -197,7 +216,7 @@ class MemoryHierarchy:
         # immediate fill (no demand stall, no MSHR pressure).
         self.llc.fill(addr)
         self.l1d.fill(addr)
-        return AccessResult(now + cfg.l1d_latency, level, self.mshr.occupancy())
+        return AccessResult(now + cfg.l1d_latency, level, self.mshr.occupancy(), who)
 
     def _train(self, pc: int, addr: int, hit: bool, now: int) -> None:
         for pf in self.prefetchers:

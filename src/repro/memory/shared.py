@@ -1,0 +1,412 @@
+"""Shared multi-core memory: one LLC + DRAM channel behind N private cores.
+
+The co-run engine (:mod:`repro.multicore`) gives every core its own
+private L1s, MSHRs, and prefetchers — an unmodified
+:class:`~repro.memory.hierarchy.MemoryHierarchy` — but routes everything
+below the private levels through one :class:`SharedMemory`:
+
+* a single shared :class:`~repro.memory.cache.Cache` as the LLC, so one
+  core's fills evict another's lines (capacity + conflict interference),
+* a single :class:`~repro.memory.dram.Dram` channel, so bank conflicts and
+  bus serialization happen *across* cores,
+* a shared LLC MSHR pool capping total outstanding line fetches, with
+  per-core occupancy accounting (a bandwidth hog visibly starves others),
+* an optional Pickle-style cross-core LLC prefetcher (``llc_xcore``) that
+  watches every core's LLC-miss stream at the shared boundary and
+  prefetches into the shared LLC.
+
+Cores are disjoint address spaces, so shared structures see *tagged*
+addresses: ``addr + (core << CORE_TAG_SHIFT)``. The tag is a multiple of
+``line_bytes * num_banks`` and of ``row_bytes``, so each core's bank
+mapping matches its solo run exactly while rows stay distinct per core —
+row-buffer interference is modeled, phantom sharing is not.
+
+Determinism: the lockstep driver resumes cores in global ``(cycle, core)``
+order, so every mutation of the shared state happens at a globally
+nondecreasing time and the whole co-run is a pure function of its spec.
+
+:class:`SharedMemoryHierarchy` is the per-core facade: a
+``MemoryHierarchy`` whose ``llc``/``dram`` attributes are tagging views
+onto the shared structures. Every private code path — including the array
+engine's inlined L1 fast paths, which never touch the LLC — runs
+unchanged, which is what keeps the obj/array digest-equivalence contract
+(docs/ENGINE.md) intact under co-runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from .cache import Cache, CacheStats
+from .dram import Dram, DramConfig, DramStats
+from .hierarchy import _NEVER, HierarchyConfig, MemoryHierarchy
+
+#: Per-core address tag: ``addr + (core << CORE_TAG_SHIFT)``. 2**44 is a
+#: multiple of every line/bank/row geometry in use and clears the SMT
+#: model's ``tid << 40`` data tag and the workloads' heap segments.
+CORE_TAG_SHIFT = 44
+
+#: Default shared-LLC-MSHR slots contributed per core in the mix.
+DEFAULT_LLC_MSHRS_PER_CORE = 8
+
+
+class LlcMshrPool:
+    """Shared pool of LLC miss-status registers with per-core accounting.
+
+    Every DRAM line fetch (demand, private prefetch, instruction, or
+    cross-core prefetch) occupies one slot from issue to completion. When
+    the pool is full, the requester stalls to the earliest completion —
+    the multicore analogue of the private L1D MSHR-full stall.
+    """
+
+    def __init__(self, capacity: int, ncores: int):
+        self.capacity = capacity
+        self._heap: list[tuple[int, int]] = []  # (completion, core)
+        self.inflight = [0] * ncores
+        self.allocations = [0] * ncores
+        self.full_stalls = [0] * ncores
+        self.peak = 0
+
+    def _expire(self, now: int) -> None:
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            _, core = heapq.heappop(heap)
+            self.inflight[core] -= 1
+
+    def admit(self, core: int, now: int) -> int:
+        """Earliest cycle >= ``now`` at which ``core`` may issue a fetch."""
+        self._expire(now)
+        start = now
+        heap = self._heap
+        while len(heap) >= self.capacity:
+            completion, owner = heapq.heappop(heap)
+            self.inflight[owner] -= 1
+            self.full_stalls[core] += 1
+            start = completion
+        return start
+
+    def record(self, core: int, completion: int) -> None:
+        heapq.heappush(self._heap, (completion, core))
+        self.inflight[core] += 1
+        self.allocations[core] += 1
+        occupancy = len(self._heap)
+        if occupancy > self.peak:
+            self.peak = occupancy
+
+    def occupancy(self) -> int:
+        return len(self._heap)
+
+
+@dataclass
+class XCoreStats:
+    """Counters for the cross-core LLC prefetcher."""
+
+    prefetches: int = 0
+    fills: int = 0
+    useful: int = 0  # demand misses caught by an in-flight xcore prefetch
+    trained: int = 0  # confident-delta training events
+
+    @property
+    def accuracy(self) -> float:
+        return self.useful / self.prefetches if self.prefetches else 0.0
+
+
+class XCorePrefetcher:
+    """Pickle-style cross-core LLC prefetcher.
+
+    One engine at the shared LLC observes every core's demand-miss stream
+    (streams stay separable because tagged addresses are disjoint). Misses
+    are localised to 4 KiB regions — workloads interleave several
+    concurrent streams, so a single global last-miss record never sees a
+    repeated delta — and each per-core region record keeps the last miss
+    line and delta. A delta seen twice within a region is a stream:
+    prefetch ``degree`` lines ahead into the *shared* LLC, so the fill
+    serves whichever context next touches the line, paid for out of the
+    shared MSHR pool and DRAM bandwidth like any other fetch.
+
+    The region table is bounded (``regions`` entries per core, FIFO
+    replacement over dict insertion order) so state stays O(1) per core
+    regardless of footprint.
+    """
+
+    REGION_BYTES = 4096
+
+    def __init__(self, ncores: int, line_bytes: int, degree: int = 4,
+                 regions: int = 512):
+        self.line_bytes = line_bytes
+        self.degree = degree
+        self.regions = regions
+        # Per core: region id -> (last miss line, last delta).
+        self._table: list[dict[int, tuple[int, int]]] = [
+            dict() for _ in range(ncores)
+        ]
+        self.stats = XCoreStats()
+
+    def observe(self, core: int, line: int) -> list[int]:
+        """Record one demand LLC miss; return untagged lines to prefetch."""
+        table = self._table[core]
+        region = line // self.REGION_BYTES
+        record = table.pop(region, None)
+        if len(table) >= self.regions:
+            del table[next(iter(table))]  # FIFO: oldest-inserted region
+        if record is None:
+            table[region] = (line, 0)
+            return []
+        last, last_delta = record
+        delta = line - last
+        table[region] = (line, delta)
+        if delta == 0 or delta != last_delta:
+            return []
+        self.stats.trained += 1
+        return [line + delta * k for k in range(1, self.degree + 1)]
+
+
+@dataclass
+class SharedStats:
+    """Mix-wide counters not attributable to a single view."""
+
+    #: Shared-LLC evictions where the evicted line belonged to a different
+    #: core than the one filling — the capacity-interference signal.
+    xcore_evictions: int = 0
+
+
+class SharedLlcView:
+    """One core's tagged window onto the shared LLC.
+
+    Quacks like :class:`~repro.memory.cache.Cache` for everything a
+    ``MemoryHierarchy`` (and ``Pipeline._finalize``) does with ``.llc``:
+    lookups/fills forward with the core tag applied and are double-counted
+    into a per-core :class:`CacheStats`, which is what makes co-run
+    SimStats carry *attributed* LLC hit/miss splits (the shared cache's
+    own stats keep the mix-wide totals).
+    """
+
+    def __init__(self, shared: "SharedMemory", core: int):
+        self._shared = shared
+        self._cache = shared.llc
+        self._tag = core << CORE_TAG_SHIFT
+        self.core = core
+        self.name = "LLC"
+        self.line_bytes = shared.llc.line_bytes
+        self.stats = CacheStats()
+
+    def line_addr(self, byte_addr: int) -> int:
+        return byte_addr - (byte_addr % self.line_bytes)
+
+    def lookup(self, byte_addr: int, *, update_lru: bool = True,
+               count: bool = True) -> bool:
+        hit = self._cache.lookup(
+            self._tag + byte_addr, update_lru=update_lru, count=count
+        )
+        if count:
+            stats = self.stats
+            stats.accesses += 1
+            if hit:
+                stats.hits += 1
+            else:
+                stats.misses += 1
+        return hit
+
+    def contains(self, byte_addr: int) -> bool:
+        return self._cache.contains(self._tag + byte_addr)
+
+    def fill(self, byte_addr: int, *, from_prefetch: bool = False) -> int | None:
+        evicted = self._cache.fill(
+            self._tag + byte_addr, from_prefetch=from_prefetch
+        )
+        stats = self.stats
+        stats.fills += 1
+        if from_prefetch:
+            stats.prefetch_fills += 1
+        if evicted is not None:
+            stats.evictions += 1
+            if (evicted >> CORE_TAG_SHIFT) != self.core:
+                self._shared.stats.xcore_evictions += 1
+        return evicted
+
+    def occupancy(self) -> int:
+        """Lines this core currently holds in the shared LLC."""
+        return self._shared.occupancy_of(self.core)
+
+    def register_stats(self, scope, figure: str = "") -> dict:
+        return Cache.register_stats(self, scope, figure)
+
+
+class SharedDramView:
+    """One core's tagged window onto the shared DRAM channel + MSHR pool.
+
+    ``request`` admits through the shared LLC MSHR pool (stalling to the
+    earliest completion when it is full), issues the tagged fetch on the
+    shared channel, and attributes the row-hit/bus-stall deltas to a
+    per-core :class:`DramStats` — per-core DRAM bandwidth shares fall out
+    of ``requests`` ratios.
+    """
+
+    def __init__(self, shared: "SharedMemory", core: int):
+        self._shared = shared
+        self._dram = shared.dram
+        self._tag = core << CORE_TAG_SHIFT
+        self.core = core
+        self.config = shared.dram.config
+        self.stats = DramStats()
+
+    def request(self, byte_addr: int, now: int) -> int:
+        start = self._shared.pool.admit(self.core, now)
+        shared_stats = self._dram.stats
+        row_hits = shared_stats.row_hits
+        bus_stalls = shared_stats.bus_stall_cycles
+        completion = self._dram.request(self._tag + byte_addr, start)
+        stats = self.stats
+        stats.requests += 1
+        stats.row_hits += shared_stats.row_hits - row_hits
+        stats.row_misses += 1 - (shared_stats.row_hits - row_hits)
+        stats.bus_stall_cycles += shared_stats.bus_stall_cycles - bus_stalls
+        # Per-core latency is measured from the *request* time, so shared
+        # MSHR-pool stalls show up in the core's average latency.
+        stats.total_latency += completion - now
+        self._shared.pool.record(self.core, completion)
+        return completion
+
+    def register_stats(self, scope) -> dict:
+        return Dram.register_stats(self, scope)
+
+
+class SharedMemory:
+    """The shared half of an N-core memory system.
+
+    Owns the LLC, the DRAM channel, the LLC MSHR pool, and (optionally)
+    the cross-core prefetcher; hands out per-core views. ``advance`` is
+    called by the lockstep driver with the global clock before each core
+    step, applying any cross-core prefetch fills that have completed.
+    """
+
+    def __init__(
+        self,
+        ncores: int,
+        *,
+        llc_size: int,
+        llc_assoc: int,
+        line_bytes: int = 64,
+        dram: DramConfig | None = None,
+        llc_mshrs_per_core: int = DEFAULT_LLC_MSHRS_PER_CORE,
+        llc_latency: int = 36,
+        xcore: bool = False,
+        xcore_degree: int = 4,
+    ):
+        self.ncores = ncores
+        self.llc = Cache(llc_size, llc_assoc, line_bytes, "sharedLLC")
+        self.dram = Dram(dram)
+        self.line_bytes = line_bytes
+        self.llc_latency = llc_latency
+        self.pool = LlcMshrPool(llc_mshrs_per_core * ncores, ncores)
+        self.xcore = (
+            XCorePrefetcher(ncores, line_bytes, degree=xcore_degree)
+            if xcore else None
+        )
+        self.stats = SharedStats()
+        self._pending_xpf: dict[int, int] = {}  # tagged line -> completion
+        self._next_xfill = _NEVER
+        self.llc_views = [SharedLlcView(self, c) for c in range(ncores)]
+        self.dram_views = [SharedDramView(self, c) for c in range(ncores)]
+
+    # -- time ------------------------------------------------------------------
+
+    def advance(self, now: int) -> None:
+        """Apply cross-core prefetch fills that completed at or before now."""
+        if now < self._next_xfill:
+            return
+        pending = self._pending_xpf
+        done = [line for line, t in pending.items() if t <= now]
+        for tagged in done:
+            del pending[tagged]
+            core = tagged >> CORE_TAG_SHIFT
+            self.llc_views[core].fill(
+                tagged - (core << CORE_TAG_SHIFT), from_prefetch=True
+            )
+            self.xcore.stats.fills += 1
+        self._next_xfill = min(pending.values()) if pending else _NEVER
+
+    # -- the demand-miss boundary ---------------------------------------------
+
+    def demand_request(self, core: int, addr: int, now: int) -> int:
+        """One core's demand-load LLC miss reaching the shared boundary.
+
+        Catches in-flight cross-core prefetches (the demand completes at
+        the prefetch's completion, no duplicate DRAM traffic), trains the
+        cross-core prefetcher, and otherwise issues the fetch through the
+        core's DRAM view (pool admission + bandwidth attribution).
+        """
+        line = addr - (addr % self.line_bytes)
+        tagged_line = line + (core << CORE_TAG_SHIFT)
+        if self.xcore is not None:
+            pending = self._pending_xpf.get(tagged_line)
+            if pending is not None:
+                self.llc_views[core].stats.prefetch_hits += 1
+                self.xcore.stats.useful += 1
+                self._issue_xcore(core, line, now)
+                return max(pending, now)
+        completion = self.dram_views[core].request(addr, now)
+        if self.xcore is not None:
+            self._issue_xcore(core, line, now)
+        return completion
+
+    def _issue_xcore(self, core: int, line: int, now: int) -> None:
+        """Train on one miss; issue any confident prefetches for ``core``."""
+        tag = core << CORE_TAG_SHIFT
+        for target in self.xcore.observe(core, line):
+            if target < 0:
+                continue
+            tagged = target + tag
+            if tagged in self._pending_xpf or self.llc.contains(tagged):
+                continue
+            completion = self.dram_views[core].request(
+                target, now + self.llc_latency
+            )
+            self._pending_xpf[tagged] = completion
+            if completion < self._next_xfill:
+                self._next_xfill = completion
+            self.xcore.stats.prefetches += 1
+
+    # -- introspection ---------------------------------------------------------
+
+    def occupancy_of(self, core: int) -> int:
+        """Lines ``core`` currently holds in the shared LLC."""
+        count = 0
+        for cache_set in self.llc._sets:
+            for line in cache_set:
+                if (line >> CORE_TAG_SHIFT) == core:
+                    count += 1
+        return count
+
+    def occupancy_by_core(self) -> list[int]:
+        counts = [0] * self.ncores
+        for cache_set in self.llc._sets:
+            for line in cache_set:
+                core = line >> CORE_TAG_SHIFT
+                if 0 <= core < self.ncores:
+                    counts[core] += 1
+        return counts
+
+
+class SharedMemoryHierarchy(MemoryHierarchy):
+    """One core's memory system inside a co-run: private levels + shared views.
+
+    Identical to a private :class:`MemoryHierarchy` (same L1s, same MSHR
+    file, same prefetchers, same lazy-fill machinery) except that ``llc``
+    and ``dram`` are the core's tagged views onto the shared structures,
+    and demand LLC misses route through :meth:`SharedMemory.demand_request`
+    so the cross-core prefetcher sees the miss stream.
+    """
+
+    def __init__(self, config: HierarchyConfig, shared: SharedMemory, core: int):
+        super().__init__(config)
+        self.shared = shared
+        self.requestor = core
+        # The privately constructed LLC/DRAM are replaced by shared views;
+        # every inherited code path tags transparently through them.
+        self.llc = shared.llc_views[core]
+        self.dram = shared.dram_views[core]
+
+    def _dram_demand(self, addr: int, now: int) -> int:
+        return self.shared.demand_request(self.requestor, addr, now)

@@ -1,0 +1,42 @@
+"""N-core co-run simulation with shared LLC + DRAM contention.
+
+The subsystem (docs/MULTICORE.md):
+
+* :mod:`repro.multicore.spec` — declarative :class:`CoRunSpec` (mix of
+  workload×mode entries, per-core CRISP annotations, shared-memory knobs)
+  and the ``workload@mode+workload@mode`` mix grammar,
+* :mod:`repro.multicore.engine` — the cycle-lockstep driver over the
+  engines' generator form, sharing one LLC/DRAM/MSHR-pool
+  (:mod:`repro.memory.shared`) below per-core private hierarchies,
+* :mod:`repro.multicore.stats` — the ``multicore.*`` metrics group,
+* :mod:`repro.multicore.cells` — one co-run = one cell on the parallel
+  layer (pool, cache, retries, orchestrate run dirs apply unchanged),
+* :mod:`repro.multicore.smt` — the two-thread SMT model's cell lowering.
+
+CLI: ``python -m repro.multicore run --mix mcf@crisp+lbm --scale 0.3``.
+"""
+
+from __future__ import annotations
+
+from .cells import CORUN_MODE, corun_cell, corun_extra, run_corun_cell
+from .engine import CoRunResult, run_corun
+from .smt import SMT_MODE, SmtCellSpec, run_smt_cell, smt_cell
+from .spec import CoreTask, CoRunSpec, parse_mix
+from .stats import MulticoreStats
+
+__all__ = [
+    "CORUN_MODE",
+    "CoRunResult",
+    "CoRunSpec",
+    "CoreTask",
+    "MulticoreStats",
+    "SMT_MODE",
+    "SmtCellSpec",
+    "corun_cell",
+    "corun_extra",
+    "parse_mix",
+    "run_corun",
+    "run_corun_cell",
+    "run_smt_cell",
+    "smt_cell",
+]

@@ -1,0 +1,122 @@
+"""Declarative co-run specifications.
+
+A :class:`CoRunSpec` describes one N-core co-run: which workload runs on
+each core, in which mode (with which CRISP annotation / private
+prefetchers), plus the shared-memory knobs (LLC size, shared-MSHR pool
+depth, the cross-core LLC prefetcher). It is a frozen value object — the
+parallel layer puts its canonical payload into the cell key, so *every*
+field here is part of the co-run's identity: mix membership, core order,
+and per-core mode all produce distinct cells.
+
+The textual mix syntax understood by :func:`parse_mix` is
+``workload[@mode]`` entries joined by ``+``::
+
+    mcf@crisp+lbm                      # 2-core: mcf in crisp mode, lbm in ooo
+    omnetpp+gen:pcd1,mlp8,ent0.10,ws4096,sl2,lf0.60#0@ooo   # generated antagonist
+
+Generated-workload names (``gen:...``) are safe in mixes: their canonical
+grammar (:mod:`repro.workgen.spec`) never contains ``+`` or ``@``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..core.fdo import CrispConfig
+from ..memory.shared import DEFAULT_LLC_MSHRS_PER_CORE
+
+
+@dataclass(frozen=True)
+class CoreTask:
+    """One core's assignment inside a co-run."""
+
+    workload: str
+    mode: str = "ooo"
+    variant: str = "ref"
+    #: Explicit CRISP annotation; ``None`` in ``"crisp"`` mode means derive
+    #: via the FDO flow on the train input (same contract as CellSpec).
+    critical_pcs: tuple[int, ...] | None = None
+    #: FDO-flow knobs for the derivation (``None`` = defaults).
+    crisp_config: CrispConfig | None = None
+    #: Private (L1-side) prefetchers for this core; ``None`` keeps the
+    #: hierarchy config's default set, ``()`` disables them.
+    prefetchers: tuple[str, ...] | None = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload}@{self.mode}"
+
+    def to_payload(self) -> dict:
+        """Canonical JSON component for the cell key."""
+        payload: dict = {
+            "workload": self.workload,
+            "mode": self.mode,
+            "variant": self.variant,
+        }
+        if self.critical_pcs is not None:
+            payload["critical_pcs"] = sorted(self.critical_pcs)
+        elif self.mode == "crisp":
+            crisp = self.crisp_config or CrispConfig()
+            payload["crisp_config"] = dataclasses.asdict(crisp)
+        if self.prefetchers is not None:
+            payload["prefetchers"] = list(self.prefetchers)
+        return payload
+
+
+@dataclass(frozen=True)
+class CoRunSpec:
+    """One N-core co-run: per-core tasks plus shared-memory knobs."""
+
+    cores: tuple[CoreTask, ...]
+    #: Enable the Pickle-style cross-core LLC prefetcher.
+    llc_xcore: bool = False
+    #: Shared-LLC MSHR slots contributed per core (pool = per_core x N).
+    llc_mshrs_per_core: int = DEFAULT_LLC_MSHRS_PER_CORE
+    #: Total shared LLC bytes; ``None`` keeps the base config's ``llc_size``
+    #: *unscaled* — N cores contend for one solo-sized LLC, the worst case.
+    shared_llc_size: int | None = None
+
+    def __post_init__(self):
+        if not self.cores:
+            raise ValueError("CoRunSpec needs at least one core")
+
+    @property
+    def ncores(self) -> int:
+        return len(self.cores)
+
+    @property
+    def label(self) -> str:
+        """Human-readable mix label, e.g. ``mcf@crisp+lbm@ooo``."""
+        return "+".join(task.label for task in self.cores)
+
+    def has_generated(self) -> bool:
+        return any(t.workload.startswith("gen:") for t in self.cores)
+
+    def to_payload(self) -> dict:
+        """Canonical JSON component hashed into the cell key."""
+        return {
+            "cores": [task.to_payload() for task in self.cores],
+            "llc_xcore": self.llc_xcore,
+            "llc_mshrs_per_core": self.llc_mshrs_per_core,
+            "shared_llc_size": self.shared_llc_size,
+        }
+
+
+def parse_mix(mix: str, **knobs) -> CoRunSpec:
+    """Parse ``workload[@mode]+workload[@mode]+...`` into a CoRunSpec.
+
+    Extra keyword arguments (``llc_xcore``, ``llc_mshrs_per_core``,
+    ``shared_llc_size``) pass through to the spec.
+    """
+    tasks = []
+    for entry in mix.split("+"):
+        entry = entry.strip()
+        if not entry:
+            raise ValueError(f"empty core entry in mix {mix!r}")
+        if "@" in entry:
+            workload, _, mode = entry.rpartition("@")
+        else:
+            workload, mode = entry, "ooo"
+        tasks.append(CoreTask(workload=workload, mode=mode))
+    return CoRunSpec(cores=tuple(tasks), **knobs)

@@ -1,0 +1,147 @@
+"""Co-run statistics: the ``multicore.*`` metrics group.
+
+:class:`MulticoreStats` carries the shared-resource counters a co-run
+produces *on top of* the per-core :class:`~repro.uarch.stats.SimStats`
+(which are attributed through the per-core LLC/DRAM views, see
+:mod:`repro.memory.shared`): shared-LLC totals, cross-core evictions,
+DRAM channel totals, LLC-MSHR-pool pressure, and cross-core prefetcher
+activity — plus per-core breakdown lists for the report tables
+(occupancy/hit/bandwidth shares).
+
+Like SimStats, it round-trips exactly through JSON (``to_dict`` /
+``from_dict``) so co-run cells cache cleanly, and ``register_into``
+publishes the aggregate counters under ``multicore.*`` — the contract
+documented in docs/METRICS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class MulticoreStats:
+    """Shared-resource counters for one N-core co-run."""
+
+    ncores: int = 0
+    #: Global lockstep cycles (the slowest core's clock at completion).
+    cycles: int = 0
+    #: Instructions retired across all cores.
+    retired: int = 0
+    # Shared LLC (mix-wide totals; per-core splits in the lists below).
+    llc_accesses: int = 0
+    llc_hits: int = 0
+    llc_misses: int = 0
+    #: Shared-LLC evictions where the victim line belonged to a different
+    #: core than the filler — the capacity-interference signal.
+    llc_xcore_evictions: int = 0
+    # Shared DRAM channel.
+    dram_requests: int = 0
+    dram_bus_stall_cycles: int = 0
+    # Shared LLC MSHR pool.
+    pool_allocations: int = 0
+    pool_full_stalls: int = 0
+    pool_peak_occupancy: int = 0
+    # Cross-core LLC prefetcher (zero when llc_xcore is off).
+    xpf_prefetches: int = 0
+    xpf_fills: int = 0
+    xpf_useful: int = 0
+    # Per-core breakdowns, indexed by core id.
+    core_cycles: list[int] = field(default_factory=list)
+    core_retired: list[int] = field(default_factory=list)
+    core_llc_accesses: list[int] = field(default_factory=list)
+    core_llc_hits: list[int] = field(default_factory=list)
+    core_llc_misses: list[int] = field(default_factory=list)
+    core_dram_requests: list[int] = field(default_factory=list)
+    #: Shared-LLC lines each core held when the run ended.
+    core_llc_occupancy: list[int] = field(default_factory=list)
+    core_pool_full_stalls: list[int] = field(default_factory=list)
+
+    # -- derived shares --------------------------------------------------------
+
+    def core_ipc(self, core: int) -> float:
+        """Per-core IPC against the *global* lockstep clock."""
+        return self.core_retired[core] / self.cycles if self.cycles else 0.0
+
+    def llc_hit_share(self, core: int) -> float:
+        """Fraction of all shared-LLC hits that went to ``core``."""
+        return self.core_llc_hits[core] / self.llc_hits if self.llc_hits else 0.0
+
+    def dram_share(self, core: int) -> float:
+        """Fraction of DRAM channel requests issued by ``core``."""
+        return (
+            self.core_dram_requests[core] / self.dram_requests
+            if self.dram_requests else 0.0
+        )
+
+    def occupancy_share(self, core: int) -> float:
+        """Fraction of resident shared-LLC lines held by ``core`` at the end."""
+        total = sum(self.core_llc_occupancy)
+        return self.core_llc_occupancy[core] / total if total else 0.0
+
+    # -- serialization (exact JSON round trip, like SimStats) ------------------
+
+    def to_dict(self) -> dict:
+        return {
+            f.name: (list(v) if isinstance(v := getattr(self, f.name), list) else v)
+            for f in fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MulticoreStats":
+        return cls(**data)
+
+    # -- telemetry -------------------------------------------------------------
+
+    def register_into(self, registry) -> None:
+        """Register the aggregate counters (docs/METRICS.md contract).
+
+        Per-core lists stay out of the registry — they are report-table
+        material, not fleet-aggregatable counters.
+        """
+        spec = (
+            # name, field, unit, owner, description
+            ("multicore.cycles", "cycles", "cycles", "lockstep driver",
+             "global co-run cycles (slowest core's clock at completion)"),
+            ("multicore.retired", "retired", "insts", "lockstep driver",
+             "instructions retired across all cores"),
+            ("multicore.llc.accesses", "llc_accesses", "events", "shared LLC",
+             "demand lookups at the shared LLC (all cores)"),
+            ("multicore.llc.hits", "llc_hits", "events", "shared LLC",
+             "shared-LLC demand hits (all cores)"),
+            ("multicore.llc.misses", "llc_misses", "events", "shared LLC",
+             "shared-LLC demand misses (all cores)"),
+            ("multicore.llc.xcore_evictions", "llc_xcore_evictions", "events",
+             "shared LLC",
+             "fills that evicted another core's line (capacity interference)"),
+            ("multicore.dram.requests", "dram_requests", "events", "shared DRAM",
+             "line reads on the shared channel (all cores)"),
+            ("multicore.dram.bus_stall_cycles", "dram_bus_stall_cycles", "cycles",
+             "shared DRAM",
+             "transfer cycles lost to cross-core data-bus contention"),
+            ("multicore.pool.allocations", "pool_allocations", "events",
+             "LLC MSHR pool",
+             "shared-MSHR slots allocated (demand + prefetch + inst fetches)"),
+            ("multicore.pool.full_stalls", "pool_full_stalls", "events",
+             "LLC MSHR pool",
+             "fetches delayed because the shared MSHR pool was full"),
+            ("multicore.pool.peak_occupancy", "pool_peak_occupancy", "entries",
+             "LLC MSHR pool",
+             "high-water mark of outstanding shared-MSHR entries"),
+            ("multicore.xpf.prefetches", "xpf_prefetches", "events",
+             "xcore prefetcher",
+             "cross-core LLC prefetches issued (llc_xcore)"),
+            ("multicore.xpf.fills", "xpf_fills", "events", "xcore prefetcher",
+             "cross-core prefetch fills applied into the shared LLC"),
+            ("multicore.xpf.useful", "xpf_useful", "events", "xcore prefetcher",
+             "demand misses caught by an in-flight cross-core prefetch"),
+        )
+        for name, field_name, unit, owner, desc in spec:
+            registry.counter(
+                name,
+                unit=unit,
+                desc=desc,
+                owner=owner,
+                figure="",
+                collect=lambda f=field_name: getattr(self, f),
+            )

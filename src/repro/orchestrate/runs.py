@@ -53,6 +53,11 @@ def _cell_payload(result: CellResult) -> dict:
         payload["stats"] = stats.to_dict()
         if result.estimate is not None:
             payload["sampled"] = result.estimate.brief()
+        if result.extra:
+            # Composite cells (co-run / SMT) keep their per-core breakdown
+            # here, same as in the result cache — resume/report need it to
+            # re-render tables.
+            payload["extra"] = result.extra
     else:
         payload["error"] = result.error
         payload["error_type"] = result.error_type
@@ -82,6 +87,7 @@ def _result_from_payload(cell: PlannedCell, payload: dict) -> CellResult:
         ipc=payload["ipc"],
         stats=SimStats.from_dict(payload["stats"]),
         critical_pcs=tuple(payload.get("critical_pcs", ())),
+        extra=payload.get("extra", {}),
     )
 
 

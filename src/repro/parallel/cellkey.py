@@ -69,6 +69,16 @@ class CellSpec:
     #: Warmup recipe for an interval cell ("functional" | "none"); part of
     #: the key only when ``interval`` is set.
     warmup: str = "functional"
+    #: N-core co-run cell (:mod:`repro.multicore`): the full
+    #: :class:`~repro.multicore.spec.CoRunSpec`. When set, ``workload`` is
+    #: the mix label and ``mode`` is ``"corun"`` (display only — the
+    #: executor dispatches on this field before mode resolution). The
+    #: spec's canonical payload joins the key, so mix membership, core
+    #: order, and per-core mode each address distinct cells.
+    corun: object = None
+    #: Two-thread SMT cell (:mod:`repro.multicore.smt`): the
+    #: :class:`~repro.multicore.smt.SmtCellSpec`; same dispatch contract.
+    smt: object = None
     # Execution-only knobs (not part of the cell key).
     invariants: str | None = None
     cycle_budget: int | None = None
@@ -113,7 +123,16 @@ def cell_payload(spec: CellSpec) -> dict:
             "interval": list(spec.interval),
             "warmup": spec.warmup,
         }
-    if spec.workload.startswith("gen:"):
+    generated = spec.workload.startswith("gen:")
+    if spec.corun is not None:
+        # Co-run cells: the CoRunSpec's canonical payload is the identity
+        # of the whole mix. A new JSON key changes the hash, so solo cells'
+        # historical keys stay valid without a schema bump.
+        payload["corun"] = spec.corun.to_payload()
+        generated = generated or spec.corun.has_generated()
+    if spec.smt is not None:
+        payload["smt"] = spec.smt.to_payload()
+    if generated:
         # Generated workloads: the name already pins the spec + seed, but
         # the program it compiles to depends on the generator's code
         # revision — hash that in so a generator change can never serve

@@ -114,6 +114,11 @@ class CellResult:
     error: str | None = None
     error_type: str | None = None
     crash_bundle: str | None = None
+    #: Structured side-channel for composite cells (JSON-shaped, cached
+    #: alongside the stats): co-run cells put per-core SimStats and the
+    #: MulticoreStats under ``extra["corun"]``, SMT cells their per-thread
+    #: rows under ``extra["smt"]``. Empty for ordinary cells.
+    extra: dict = field(default_factory=dict)
     #: Set on synthesized sampled-run results (repro.sampling.cells): the
     #: SampledEstimate the stats/ipc fields were assembled from.
     estimate: object = None
@@ -168,6 +173,18 @@ def run_cell_spec(spec: CellSpec) -> dict:
 
     key = cell_key(spec)
     random.seed(int(key[:16], 16))
+
+    if spec.corun is not None:
+        # Composite cells (repro.multicore): one co-run / SMT run is one
+        # cell; dispatch before mode resolution — their top-level mode is
+        # display-only and the per-core modes live inside the sub-spec.
+        from ..multicore.cells import run_corun_cell
+
+        return run_corun_cell(spec)
+    if spec.smt is not None:
+        from ..multicore.smt import run_smt_cell
+
+        return run_smt_cell(spec)
 
     config = spec.core_config()
     critical: frozenset[int] = frozenset()
@@ -257,6 +274,7 @@ def _result_from_payload(spec, key, payload, *, attempts, from_cache) -> CellRes
         ipc=payload["ipc"],
         stats=SimStats.from_dict(payload["stats"]),
         critical_pcs=tuple(payload.get("critical_pcs", ())),
+        extra=payload.get("extra", {}),
     )
 
 
@@ -327,6 +345,8 @@ def run_cells(
                 "critical_pcs": list(result.critical_pcs),
                 "stats": result.require_stats().to_dict(),
             }
+            if result.extra:
+                payload["extra"] = result.extra
             cache.put(result.key, payload)
         if on_result is not None:
             on_result(result)

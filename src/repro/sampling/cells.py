@@ -98,6 +98,13 @@ def run_cells_sampled(
     parents = []
     interval_specs: list[CellSpec] = []
     for spec in specs:
+        if spec.corun is not None or spec.smt is not None:
+            # Composite cells (co-run / SMT) have no interval form — the
+            # whole run *is* the cell. They ride the same pooled run_cells
+            # call unsampled and pass through to the results untouched.
+            parents.append((spec, None, 0, (), len(interval_specs)))
+            interval_specs.append(spec)
+            continue
         intervals, children, total_insts, critical = expand_spec(spec, plan)
         parents.append((spec, intervals, total_insts, critical, len(interval_specs)))
         interval_specs.extend(children)
@@ -109,6 +116,13 @@ def run_cells_sampled(
 
     results: list[CellResult] = []
     for spec, intervals, total_insts, critical, offset in parents:
+        if intervals is None:
+            # Composite pass-through: the single child is the whole cell.
+            result = child_results[offset]
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+            continue
         children = child_results[offset:offset + len(intervals)]
         key = f"sampled:{plan.token()}:{cell_key(spec)}"
         attempts = max((r.attempts for r in children), default=0)

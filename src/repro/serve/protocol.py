@@ -30,7 +30,11 @@ job, exactly as if the same cells had been submitted individually.
 A *cell dict* is ``{"workload": ..., "mode": ..., "scale"?, "variant"?,
 "cycle_budget"?, "engine"?, "critical_pcs"?}`` — exactly the picklable
 subset of :class:`~repro.parallel.cellkey.CellSpec` that travels by
-value. See docs/SERVE.md for the full contract and failure matrix.
+value. Alternatively ``{"corun": "mcf@crisp+lbm", "scale"?,
+"cycle_budget"?, "engine"?, "llc_xcore"?}`` submits one N-core co-run
+cell (docs/MULTICORE.md); the mix string replaces ``workload``/``mode``
+and every member workload/mode is validated the same way. See
+docs/SERVE.md for the full contract and failure matrix.
 """
 
 from __future__ import annotations
@@ -121,19 +125,10 @@ def parse_priority(req: dict, default: str) -> str:
     return priority
 
 
-def parse_cell(cell: dict) -> CellSpec:
-    """A validated :class:`CellSpec` from one wire cell dict."""
-    if not isinstance(cell, dict):
-        raise ProtocolError("each cell must be a JSON object")
-    unknown = set(cell) - {
-        "workload", "mode", "scale", "variant", "cycle_budget", "engine",
-        "critical_pcs",
-    }
-    if unknown:
-        raise ProtocolError(f"unknown cell fields: {sorted(unknown)}")
+def _validate_workload(workload: str) -> None:
+    """Raise unless ``workload`` names a registered or generated workload."""
     from ..workloads import REGISTRY  # local import: registration is heavy
 
-    workload = _require(cell, "workload", str)
     if workload.startswith("gen:"):
         # Generated workloads (docs/WORKGEN.md) are addressed by canonical
         # spec name, not the registry; validate the spelling here so a bad
@@ -149,12 +144,67 @@ def parse_cell(cell: dict) -> CellSpec:
             f"unknown workload {workload!r}; known: {REGISTRY.names()}",
             code=E_BAD_REQUEST,
         )
+
+
+def _validate_mode(mode: str) -> None:
     from ..sim.simulator import MODES
 
-    mode = _require(cell, "mode", str)
     if mode not in MODES:
         raise ProtocolError(
             f"unknown mode {mode!r}; known: {MODES}", code=E_BAD_REQUEST)
+
+
+def _parse_corun_cell(cell: dict) -> CellSpec:
+    """A validated co-run :class:`CellSpec` from a ``corun`` mix dict."""
+    unknown = set(cell) - {"corun", "scale", "cycle_budget", "engine",
+                           "llc_xcore"}
+    if unknown:
+        raise ProtocolError(f"unknown corun cell fields: {sorted(unknown)}")
+    from ..multicore import corun_cell, parse_mix
+
+    mix = _require(cell, "corun", str)
+    llc_xcore = cell.get("llc_xcore", False)
+    if not isinstance(llc_xcore, bool):
+        raise ProtocolError("cell llc_xcore must be a boolean")
+    try:
+        spec = parse_mix(mix, llc_xcore=llc_xcore)
+    except ValueError as exc:
+        raise ProtocolError(str(exc), code=E_BAD_REQUEST) from None
+    for task in spec.cores:
+        _validate_workload(task.workload)
+        _validate_mode(task.mode)
+    scale = cell.get("scale", 1.0)
+    if not isinstance(scale, (int, float)) or scale <= 0:
+        raise ProtocolError("cell scale must be a positive number")
+    engine = cell.get("engine")
+    if engine not in (None, "obj", "array"):
+        raise ProtocolError("cell engine must be 'obj' or 'array'")
+    cycle_budget = cell.get("cycle_budget")
+    if cycle_budget is not None and (
+        not isinstance(cycle_budget, int) or cycle_budget < 1
+    ):
+        raise ProtocolError("cell cycle_budget must be a positive integer")
+    return corun_cell(
+        spec, scale=float(scale), cycle_budget=cycle_budget, engine=engine,
+    )
+
+
+def parse_cell(cell: dict) -> CellSpec:
+    """A validated :class:`CellSpec` from one wire cell dict."""
+    if not isinstance(cell, dict):
+        raise ProtocolError("each cell must be a JSON object")
+    if "corun" in cell:
+        return _parse_corun_cell(cell)
+    unknown = set(cell) - {
+        "workload", "mode", "scale", "variant", "cycle_budget", "engine",
+        "critical_pcs",
+    }
+    if unknown:
+        raise ProtocolError(f"unknown cell fields: {sorted(unknown)}")
+    workload = _require(cell, "workload", str)
+    _validate_workload(workload)
+    mode = _require(cell, "mode", str)
+    _validate_mode(mode)
     scale = cell.get("scale", 1.0)
     if not isinstance(scale, (int, float)) or scale <= 0:
         raise ProtocolError("cell scale must be a positive number")

@@ -45,6 +45,7 @@ def metrics_catalog() -> StatsRegistry:
     defined against this set.
     """
     from ..isa import Asm, execute  # local import: avoids a package cycle
+    from ..multicore.stats import MulticoreStats
     from ..parallel.cache import CacheStats
     from ..parallel.executor import PoolStats
     from ..sampling.sampler import SamplingStats
@@ -61,4 +62,5 @@ def metrics_catalog() -> StatsRegistry:
     PoolStats().register_into(registry)
     SamplingStats().register_into(registry)
     ServeStats().register_into(registry)
+    MulticoreStats().register_into(registry)
     return registry

@@ -373,6 +373,19 @@ class ArrayPipeline(Pipeline):
     # -- main loop -------------------------------------------------------------
 
     def run(self, max_cycles: int | None = None):
+        """Drain :meth:`cycles` to completion (same contract as the object
+        engine's ``run``; the generator exists for the multicore driver)."""
+        gen = self.cycles(max_cycles)
+        try:
+            while True:
+                next(gen)
+        except StopIteration as stop:
+            return stop.value
+
+    def cycles(self, max_cycles: int | None = None):
+        """Generator form of the hot loop: yields the local clock after
+        each ``now += advance``, returning the final stats — see
+        :meth:`Pipeline.cycles` for the lockstep ordering contract."""
         cfg = self.config
         stats = self.stats
         n = len(self.trace.insts)
@@ -1041,6 +1054,7 @@ class ArrayPipeline(Pipeline):
                         stats.upc_timeline.append(window_retired)
                         window_retired = 0
                         next_window_end += upc_window
+                yield now
         except InvariantViolation as violation:
             raise watchdog.attach_bundle(
                 violation, self._bundle, now=now, retired=retired, total=n,

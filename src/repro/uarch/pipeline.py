@@ -242,6 +242,29 @@ class Pipeline:
     # -- main loop -------------------------------------------------------------
 
     def run(self, max_cycles: int | None = None) -> SimStats:
+        """Run the trace to completion and return the stats.
+
+        A thin drain over :meth:`cycles`; single-core callers see exactly
+        the historical monolithic-loop behaviour (same digests), while the
+        multicore lockstep driver (:mod:`repro.multicore.engine`) consumes
+        :meth:`cycles` directly to interleave several cores in time order.
+        """
+        gen = self.cycles(max_cycles)
+        try:
+            while True:
+                next(gen)
+        except StopIteration as stop:
+            return stop.value
+
+    def cycles(self, max_cycles: int | None = None):
+        """Generator form of the main loop: yields the local clock once per
+        loop iteration (after time advances), returning the final SimStats.
+
+        The yield sits after ``now += advance``, so the yielded value is
+        the cycle the *next* iteration will simulate — a lockstep driver
+        resumes the core whose next cycle is globally smallest, which keeps
+        every shared-memory access in nondecreasing global time order.
+        """
         trace = self.trace
         insts = trace.insts
         n = len(insts)
@@ -589,6 +612,7 @@ class Pipeline:
                     stats.upc_timeline.append(window_retired)
                     window_retired = 0
                     next_window_end += self.upc_window
+            yield now
 
         if checker is not None:
             try:

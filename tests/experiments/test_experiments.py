@@ -18,7 +18,10 @@ def test_registry_covers_all_paper_artifacts():
         "ablation_sampling",
     }
     discussion = {"discussion_smt", "discussion_division"}
-    assert set(EXPERIMENTS) == paper_artifacts | ablations | discussion
+    extensions = {"corun_interference"}
+    assert set(EXPERIMENTS) == (
+        paper_artifacts | ablations | discussion | extensions
+    )
 
 
 def test_unknown_experiment_rejected():

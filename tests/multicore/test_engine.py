@@ -1,0 +1,113 @@
+"""Co-run engine: solo identity, determinism, attribution, contention."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.multicore import CoreTask, CoRunSpec, parse_mix, run_corun
+from repro.sim import simulate
+from repro.workloads import get_workload
+
+SCALE = 0.1
+
+
+def solo_spec(workload="pointer_chase", mode="ooo", **kw):
+    return CoRunSpec(cores=(CoreTask(workload, mode, **kw),))
+
+
+def pair_spec(**kw):
+    return CoRunSpec(
+        cores=(CoreTask("pointer_chase"), CoreTask("img_dnn")), **kw
+    )
+
+
+def test_one_core_corun_is_digest_identical_to_simulate():
+    """A 1-core CoRunSpec takes the private-hierarchy path untouched."""
+    for mode in ("ooo", "crisp"):
+        result = run_corun(solo_spec("pointer_chase", mode), scale=SCALE)
+        workload = get_workload("pointer_chase", scale=SCALE)
+        kwargs = {}
+        if mode == "crisp":
+            kwargs["critical_pcs"] = result.critical_pcs[0]
+        baseline = simulate(workload, mode, **kwargs).stats
+        assert result.stats.digest() == baseline.digest(), mode
+
+
+def test_corun_is_deterministic():
+    first = run_corun(pair_spec(), scale=SCALE)
+    second = run_corun(pair_spec(), scale=SCALE)
+    assert first.stats.digest() == second.stats.digest()
+    for a, b in zip(first.per_core, second.per_core):
+        assert a.digest() == b.digest()
+
+
+def test_obj_and_array_engines_agree_per_core():
+    obj = run_corun(pair_spec(), scale=SCALE, engine="obj")
+    array = run_corun(pair_spec(), scale=SCALE, engine="array")
+    assert obj.stats.digest() == array.stats.digest()
+    for a, b in zip(obj.per_core, array.per_core):
+        assert a.digest() == b.digest()
+    assert obj.multicore.to_dict() == array.multicore.to_dict()
+
+
+def test_per_core_attribution_sums_to_shared_totals():
+    result = run_corun(pair_spec(), scale=SCALE)
+    m = result.multicore
+    assert sum(m.core_llc_accesses) == m.llc_accesses
+    assert sum(m.core_llc_hits) == m.llc_hits
+    assert sum(m.core_llc_misses) == m.llc_misses
+    assert sum(m.core_dram_requests) == m.dram_requests
+    assert m.llc_accesses > 0 and m.dram_requests > 0
+    # Occupancy shares partition the resident shared-LLC lines.
+    assert sum(m.core_llc_occupancy) > 0
+    shares = [m.occupancy_share(core) for core in range(m.ncores)]
+    assert abs(sum(shares) - 1.0) < 1e-9
+
+
+def test_contended_corun_slows_the_victim():
+    """Sharing LLC + DRAM must cost the victim cycles vs its solo run."""
+    solo = run_corun(solo_spec("pointer_chase"), scale=SCALE)
+    pair = run_corun(pair_spec(), scale=SCALE)
+    assert pair.core_ipc(0) < solo.ipc
+    assert pair.multicore.dram_bus_stall_cycles > 0
+
+
+def test_global_clock_covers_every_core():
+    result = run_corun(pair_spec(), scale=SCALE)
+    assert result.stats.cycles == max(p.cycles for p in result.per_core)
+    assert result.stats.retired == sum(p.retired for p in result.per_core)
+
+
+def test_mshr_pool_bounds_outstanding_misses():
+    starved = run_corun(pair_spec(llc_mshrs_per_core=1), scale=SCALE)
+    roomy = run_corun(pair_spec(llc_mshrs_per_core=8), scale=SCALE)
+    assert starved.multicore.pool_peak_occupancy <= 2
+    assert starved.multicore.pool_full_stalls > 0
+    assert starved.stats.cycles > roomy.stats.cycles
+
+
+def test_xcore_prefetcher_trains_on_streaming_misses():
+    spec = CoRunSpec(
+        cores=(
+            CoreTask("img_dnn", prefetchers=()),
+            CoreTask("img_dnn", variant="ref#1", prefetchers=()),
+        ),
+        llc_xcore=True,
+    )
+    result = run_corun(spec, scale=0.3)
+    m = result.multicore
+    assert m.xpf_prefetches > 0
+    assert m.xpf_fills > 0
+    assert m.xpf_useful > 0
+
+
+def test_mix_grammar_round_trip():
+    spec = parse_mix("mcf@crisp+lbm", llc_xcore=True)
+    assert [t.workload for t in spec.cores] == ["mcf", "lbm"]
+    assert [t.mode for t in spec.cores] == ["crisp", "ooo"]
+    assert spec.llc_xcore
+    assert spec.label == "mcf@crisp+lbm@ooo"
+    with pytest.raises(ValueError):
+        parse_mix("mcf++lbm")
+    with pytest.raises(ValueError):
+        CoRunSpec(cores=())

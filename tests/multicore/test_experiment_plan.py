@@ -1,0 +1,45 @@
+"""corun_interference: plan shape and cell lowering (no simulation)."""
+
+from __future__ import annotations
+
+from repro.experiments.corun_interference import (
+    STREAM_ANTAGONIST,
+    CoRunInterference,
+)
+
+
+def test_plan_shapes_the_solo_vs_contended_matrix():
+    experiment = CoRunInterference(scale=0.1, workloads=["mcf"])
+    [target] = experiment.targets()
+    instances = {i.name: i for i in experiment.instances(target)}
+    assert set(instances) == {
+        "solo", "solo-stride", "solo-bop", "solo-crisp",
+        "4core", "4core-stride", "4core-bop", "4core-crisp",
+        "2core", "4core-xcore",
+    }
+    assert instances["solo"].corun.ncores == 1
+    assert instances["2core"].corun.ncores == 2
+    for name in ("4core", "4core-stride", "4core-bop", "4core-crisp",
+                 "4core-xcore"):
+        corun = instances[name].corun
+        assert corun.ncores == 4
+        assert corun.cores[0].workload == "mcf"
+        assert all(t.workload == STREAM_ANTAGONIST for t in corun.cores[1:])
+    assert instances["4core-xcore"].corun.llc_xcore
+    assert instances["4core-crisp"].corun.cores[0].mode == "crisp"
+    assert instances["solo-stride"].corun.cores[0].prefetchers == ("stride",)
+
+
+def test_plan_lowers_to_distinct_cacheable_cells():
+    from repro.parallel.cellkey import cell_key
+
+    experiment = CoRunInterference(scale=0.1, workloads=["mcf"])
+    plan = experiment.plan()
+    keys = [cell.key for cell in plan]
+    assert len(keys) == len(set(keys)) == 10
+    for cell in plan:
+        assert cell.spec.corun is not None
+        assert cell_key(cell.spec) == cell.key
+    # Generated antagonists stamp generator provenance into the manifest.
+    describe = {c.instance.name: c.instance.describe() for c in plan}
+    assert describe["4core"]["corun"]["cores"][1]["workload"] == STREAM_ANTAGONIST

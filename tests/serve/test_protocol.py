@@ -141,3 +141,28 @@ def test_parse_sweep_expands_and_validates():
 def test_parse_sweep_rejects_bad_requests(req):
     with pytest.raises(ProtocolError):
         protocol.parse_sweep(req)
+
+
+def test_parse_cell_accepts_corun_mixes():
+    spec = protocol.parse_cell({"corun": "mcf@crisp+lbm", "scale": 0.2})
+    assert spec.corun is not None
+    assert spec.corun.label == "mcf@crisp+lbm@ooo"
+    assert spec.scale == 0.2
+    xcore = protocol.parse_cell({"corun": "mcf+lbm", "llc_xcore": True})
+    assert xcore.corun.llc_xcore
+
+
+@pytest.mark.parametrize(
+    "cell",
+    [
+        {"corun": ""},
+        {"corun": "nosuchworkload+mcf"},
+        {"corun": "mcf@nosuchmode+lbm"},
+        {"corun": "mcf+lbm", "variant": "ref"},  # plain-cell-only field
+        {"corun": "mcf+lbm", "llc_xcore": "yes"},
+        {"corun": "mcf+lbm", "scale": 0},
+    ],
+)
+def test_parse_cell_rejects_bad_corun_mixes(cell):
+    with pytest.raises(ProtocolError):
+        protocol.parse_cell(cell)
